@@ -1,0 +1,192 @@
+// EXP6 — §3: asynchronous Consensus under combined process + systemic
+// failures.  Our protocol (CT91 + re-send + superimposed round agreement)
+// vs the plain CT91 baseline, started from the same corrupted states.
+//
+// Shape to hold (the paper's headline asynchronous claim): the baseline
+// decides only from clean states and deadlocks under corruption; our
+// protocol decides in every configuration, with clean-state latency in the
+// same ballpark as the baseline.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "consensus/harness.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace ftss {
+namespace {
+
+struct Cell {
+  int decided_runs = 0;
+  int agreement_runs = 0;
+  double mean_decision_time = -1;
+};
+
+Cell run_cell(int n, int crashes, CorruptionPattern pattern, bool ftss,
+              int seeds, Time horizon) {
+  auto outcomes = parallel_sweep<ConsensusOutcome>(
+      static_cast<std::size_t>(seeds), [&](std::size_t idx) {
+        const int seed = static_cast<int>(idx + 1);
+        ConsensusSystemConfig config;
+        config.n = n;
+        config.async.seed = static_cast<std::uint64_t>(seed) * 31 + n;
+        config.stabilization = ftss ? StabilizationOptions::ftss()
+                                    : StabilizationOptions::baseline();
+        config.weaken_detector = ftss;
+        for (int p = 0; p < n; ++p) config.inputs.push_back(Value(100 + p));
+        auto sim = build_consensus_system(config);
+
+        Rng rng(config.async.seed * 7 + 3);
+        if (pattern != CorruptionPattern::kNone) {
+          for (ProcessId p = 0; p < n; ++p) {
+            sim->corrupt_state(p, make_corrupt_state(pattern, p, n, rng));
+          }
+        }
+        for (int i = 0; i < crashes; ++i) {
+          sim->schedule_crash(2 * i, rng.uniform(0, 2000));  // witnesses alive
+        }
+        sim->run_until(horizon);
+        return evaluate_consensus(*sim, config.inputs);
+      });
+
+  Cell cell;
+  double total_time = 0;
+  for (const auto& outcome : outcomes) {
+    if (outcome.all_correct_decided) {
+      ++cell.decided_runs;
+      if (outcome.agreement) ++cell.agreement_runs;
+      if (outcome.last_decision_time) {
+        total_time += static_cast<double>(*outcome.last_decision_time);
+      }
+    }
+  }
+  if (cell.decided_runs > 0) {
+    cell.mean_decision_time = total_time / cell.decided_runs;
+  }
+  return cell;
+}
+
+void print_exp6() {
+  const int seeds = 5;
+  const Time horizon = 150000;
+  bench::Table table(
+      "EXP6 (Sec 3): consensus from corrupted initial states - ours (CT91 + "
+      "resend + round agreement) vs plain CT91 baseline",
+      {"n", "crashes", "corruption", "protocol", "decided", "agreement",
+       "mean decide t"});
+  for (int n : {3, 5, 9}) {
+    const int crashes = (n - 1) / 2 >= 2 ? 2 : (n - 1) / 2;
+    for (CorruptionPattern pattern :
+         {CorruptionPattern::kNone, CorruptionPattern::kPhaseFlags,
+          CorruptionPattern::kRoundCounters, CorruptionPattern::kDetector,
+          CorruptionPattern::kFull}) {
+      for (bool ftss : {false, true}) {
+        // The baseline cannot survive crashes of early coordinators in this
+        // comparison when also corrupted; crashes only in the clean column
+        // keep the baseline comparison fair.
+        const int use_crashes =
+            (pattern == CorruptionPattern::kNone) ? crashes : (ftss ? crashes : 0);
+        Cell cell = run_cell(n, use_crashes, pattern, ftss, seeds, horizon);
+        table.add_row(
+            {bench::fmt(static_cast<std::int64_t>(n)),
+             bench::fmt(static_cast<std::int64_t>(use_crashes)),
+             corruption_pattern_name(pattern),
+             ftss ? "ours (ftss)" : "CT91 baseline",
+             bench::fmt(static_cast<std::int64_t>(cell.decided_runs)) + "/" +
+                 bench::fmt(static_cast<std::int64_t>(seeds)),
+             bench::fmt(static_cast<std::int64_t>(cell.agreement_runs)) + "/" +
+                 bench::fmt(static_cast<std::int64_t>(cell.decided_runs)),
+             cell.mean_decision_time < 0 ? "deadlock"
+                                         : bench::fmt(cell.mean_decision_time)});
+      }
+    }
+  }
+  table.print();
+  std::printf(
+      "Expected shape: the baseline deadlocks whenever consensus-layer state "
+      "is corrupted\n(phase-flags, round-counters, full); ours decides 5/5 "
+      "everywhere with agreement, at\ncomparable clean-state latency.  "
+      "Detector-only corruption heals even under the\nbaseline because the "
+      "Figure 4 detector is itself self-stabilizing (Theorem 5) --\nthe "
+      "consensus layer above it merely has to wait out the detector's "
+      "recovery.\n");
+}
+
+void print_exp6b_message_cost() {
+  bench::Table table(
+      "EXP6b: message cost of self-stabilization - wire messages until "
+      "decision, clean start (5 seeds; counts include detector traffic)",
+      {"n", "protocol", "mean decide t", "msgs to decision", "per process"});
+  for (int n : {3, 5, 9}) {
+    for (bool ftss : {false, true}) {
+      double time_total = 0;
+      double msg_total = 0;
+      int counted = 0;
+      for (int seed = 1; seed <= 5; ++seed) {
+        ConsensusSystemConfig config;
+        config.n = n;
+        config.async.seed = static_cast<std::uint64_t>(seed) * 997 + n;
+        config.stabilization = ftss ? StabilizationOptions::ftss()
+                                    : StabilizationOptions::baseline();
+        config.weaken_detector = ftss;
+        for (int p = 0; p < n; ++p) config.inputs.push_back(Value(100 + p));
+        auto sim = build_consensus_system(config);
+        // Step until every process decided, sampling the message counter.
+        std::int64_t msgs_at_decision = 0;
+        Time decided_at = -1;
+        for (Time t = 50; t <= 20000; t += 50) {
+          sim->run_until(t);
+          auto outcome = evaluate_consensus(*sim, config.inputs);
+          if (outcome.all_correct_decided) {
+            msgs_at_decision = sim->messages_sent();
+            decided_at = *outcome.last_decision_time;
+            break;
+          }
+        }
+        if (decided_at >= 0) {
+          time_total += static_cast<double>(decided_at);
+          msg_total += static_cast<double>(msgs_at_decision);
+          ++counted;
+        }
+      }
+      table.add_row(
+          {bench::fmt(static_cast<std::int64_t>(n)),
+           ftss ? "ours (ftss)" : "CT91 baseline",
+           bench::fmt(counted ? time_total / counted : -1.0),
+           bench::fmt(counted ? msg_total / counted : -1.0),
+           bench::fmt(counted ? msg_total / counted / n : -1.0)});
+    }
+  }
+  table.print();
+  std::printf(
+      "Expected shape: ours sends a constant-factor more traffic per unit "
+      "time (periodic\nre-sends + round gossip on every tick) but decides in "
+      "similar time, so the absolute\nmessage cost to decision stays in the "
+      "same ballpark - the price of surviving\narbitrary corruption is "
+      "bandwidth, not latency.\n");
+}
+
+void BM_FtssConsensusClean(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ConsensusSystemConfig config;
+    config.n = n;
+    config.async.seed = 1;
+    for (int p = 0; p < n; ++p) config.inputs.push_back(Value(p));
+    auto sim = build_consensus_system(config);
+    sim->run_until(5000);
+    benchmark::DoNotOptimize(evaluate_consensus(*sim, config.inputs).decided_count);
+  }
+}
+BENCHMARK(BM_FtssConsensusClean)->Arg(3)->Arg(5)->Arg(9);
+
+}  // namespace
+}  // namespace ftss
+
+int main(int argc, char** argv) {
+  ftss::print_exp6();
+  ftss::print_exp6b_message_cost();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// EXP2 — Figures 2-3 / Theorem 4: the compiled Π⁺ (FloodSet consensus)
+// ftss-solves Repeated Consensus with stabilization time final_round
+// (extended by at most another final_round by corrupted suspect sets, §2.4).
+//
+// Measured: rounds between the last de-stabilizing event and the first
+// actual round from which every completed iteration is clean (complete,
+// synchronous, agreeing, valid).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/compiler.h"
+#include "core/predicates.h"
+#include "protocols/floodset.h"
+#include "protocols/repeated.h"
+#include "sim/corrupt.h"
+#include "sim/simulator.h"
+
+namespace ftss {
+namespace {
+
+InputSource int_inputs() {
+  return [](ProcessId p, std::int64_t iteration) {
+    return Value(100 * iteration + p);
+  };
+}
+
+struct Cell {
+  Round max_stab = 0;
+  double mean_stab = 0;
+  int failures = 0;  // runs that never became clean
+  bool round_agreement_ok = true;
+};
+
+Cell run_cell(int n, int f, int seeds) {
+  Cell cell;
+  double total = 0;
+  int counted = 0;
+  auto protocol = std::make_shared<FloodSetConsensus>(f);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 104729 + n * 31 + f);
+    SyncSimulator sim(SyncConfig{.seed = static_cast<std::uint64_t>(seed),
+                                 .record_states = false},
+                      compile_protocol(n, protocol, int_inputs()));
+    for (ProcessId p = 0; p < n; ++p) {
+      sim.corrupt_state(p, random_value(rng, 10'000));
+    }
+    for (int idx : rng.sample(n, f)) {
+      sim.set_fault_plan(idx, FaultPlan::crash(rng.uniform(1, 12)));
+    }
+    sim.run_rounds(30 + 10 * protocol->final_round());
+
+    const auto& h = sim.history();
+    cell.round_agreement_ok &= check_round_agreement_ftss(h, 1).ok;
+    auto analysis =
+        analyze_repeated(compiled_views(sim), h.faulty(),
+                         consensus_validity_any(int_inputs(), n));
+    auto clean_from = analysis.clean_from(/*require_validity=*/true);
+    if (!clean_from) {
+      ++cell.failures;
+      continue;
+    }
+    const Round base = std::max<Round>(h.last_coterie_change(), 1);
+    const Round stab = std::max<Round>(*clean_from - base, 0);
+    cell.max_stab = std::max(cell.max_stab, stab);
+    total += static_cast<double>(stab);
+    ++counted;
+  }
+  cell.mean_stab = counted > 0 ? total / counted : -1;
+  return cell;
+}
+
+void print_exp2() {
+  bench::Table table(
+      "EXP2 (Figs 2-3, Thm 4): compiled FloodSet stabilization, paper bound = "
+      "final_round (suspect sets may add another final_round)",
+      {"n", "f", "final_round", "seeds", "max stab", "mean stab",
+       "<= 2*final_round+1", "Thm3 clocks ok"});
+  const int seeds = 15;
+  for (int n : {4, 8, 16, 32}) {
+    for (int f : {1, 2, 3}) {
+      if (f >= n) continue;
+      Cell cell = run_cell(n, f, seeds);
+      const std::int64_t final_round = f + 1;
+      table.add_row(
+          {bench::fmt(static_cast<std::int64_t>(n)),
+           bench::fmt(static_cast<std::int64_t>(f)), bench::fmt(final_round),
+           bench::fmt(static_cast<std::int64_t>(seeds)),
+           bench::fmt(cell.max_stab), bench::fmt(cell.mean_stab),
+           bench::pass(cell.failures == 0 &&
+                       cell.max_stab <= 2 * final_round + 1),
+           bench::pass(cell.round_agreement_ok)});
+    }
+  }
+  table.print();
+}
+
+void BM_CompiledRounds(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int f = static_cast<int>(state.range(1));
+  auto protocol = std::make_shared<FloodSetConsensus>(f);
+  for (auto _ : state) {
+    SyncSimulator sim(SyncConfig{.seed = 1, .record_states = false},
+                      compile_protocol(n, protocol, int_inputs()));
+    sim.run_rounds(20);
+    benchmark::DoNotOptimize(sim.history().length());
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_CompiledRounds)->Args({4, 1})->Args({16, 2})->Args({32, 3});
+
+}  // namespace
+}  // namespace ftss
+
+int main(int argc, char** argv) {
+  ftss::print_exp2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

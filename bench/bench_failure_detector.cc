@@ -1,0 +1,137 @@
+// EXP5 — Figure 4 / Theorem 5: the gossip transformation turns an
+// Eventually Weak detector into an Eventually Strong one with no
+// initialization required.
+//
+// Measured, from adversarially corrupted (num[], state[]) tables at every
+// node: time until strong completeness (every correct process suspects the
+// crashed process) and time until accuracy settles (no correct process
+// suspects a correct process from then on).  Shape to hold: both times are
+// bounded and essentially independent of the corruption magnitude — the
+// adopt-then-increment rule leaps past any corrupted counter.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "detect/gossip_fd.h"
+#include "detect/heartbeat_fd.h"
+#include "util/rng.h"
+
+namespace ftss {
+namespace {
+
+std::vector<std::unique_ptr<AsyncProcess>> stack(int n, bool weaken) {
+  std::vector<std::unique_ptr<AsyncProcess>> v;
+  for (ProcessId p = 0; p < n; ++p) {
+    auto hb = std::make_unique<HeartbeatFd>(p, n);
+    WeakDetect detect = weaken ? weak_view(hb.get(), p, n) : full_view(hb.get());
+    auto gfd = std::make_unique<GossipStrongFd>(p, n, std::move(detect));
+    std::vector<std::unique_ptr<Module>> mods;
+    mods.push_back(std::move(hb));
+    mods.push_back(std::move(gfd));
+    v.push_back(std::make_unique<ModuleHost>(std::move(mods)));
+  }
+  return v;
+}
+
+const GossipStrongFd& gfd(const EventSimulator& sim, ProcessId p) {
+  return *dynamic_cast<const ModuleHost&>(sim.process(p))
+              .find<GossipStrongFd>("gfd");
+}
+
+struct Cell {
+  Time completeness_time = -1;  // first time all correct suspect the crashed
+  Time accuracy_time = -1;      // first time no correct suspects a correct,
+                                // never violated again through the horizon
+  bool ok = false;
+};
+
+Cell run_cell(int n, std::int64_t magnitude, bool weaken, std::uint64_t seed) {
+  Rng rng(seed);
+  EventSimulator sim(AsyncConfig{.seed = seed}, stack(n, weaken));
+  const ProcessId crashed = 0;  // witness (1) stays alive
+  const Time crash_time = 500;
+  if (magnitude > 0) {
+    for (ProcessId p = 0; p < n; ++p) {
+      Value::Array nums, alive;
+      for (int s = 0; s < n; ++s) {
+        nums.push_back(Value(rng.uniform(0, magnitude)));
+        alive.push_back(Value(rng.chance(0.5)));
+      }
+      Value state;
+      state["gfd"] = Value::map({{"num", Value(nums)}, {"alive", Value(alive)}});
+      sim.corrupt_state(p, state);
+    }
+  }
+  sim.schedule_crash(crashed, crash_time);
+
+  const Time horizon = 30000;
+  const Time step = 50;
+  Cell cell;
+  Time last_inaccuracy = 0;
+  for (Time t = step; t <= horizon; t += step) {
+    sim.run_until(t);
+    bool complete = true;
+    bool accurate = true;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (p == crashed) continue;
+      complete &= gfd(sim, p).suspects(crashed);
+      for (ProcessId s = 0; s < n; ++s) {
+        if (s == crashed) continue;
+        accurate &= !gfd(sim, p).suspects(s);
+      }
+    }
+    if (complete && cell.completeness_time < 0 && t > crash_time) {
+      cell.completeness_time = t;
+    }
+    if (!accurate) last_inaccuracy = t;
+  }
+  cell.accuracy_time = last_inaccuracy == 0 ? step : last_inaccuracy + step;
+  cell.ok = cell.completeness_time >= 0 && cell.accuracy_time < horizon;
+  return cell;
+}
+
+void print_exp5() {
+  bench::Table table(
+      "EXP5 (Fig 4, Thm 5): time to strong completeness / eventual weak "
+      "accuracy from corrupted detector state (crash at t=500, tick=10)",
+      {"n", "detector input", "corruption", "completeness t", "accuracy t",
+       "bounded"});
+  for (int n : {3, 5, 9}) {
+    for (bool weaken : {true, false}) {
+      for (std::int64_t magnitude : {0LL, 1000LL, 1000000LL}) {
+        Cell cell = run_cell(n, magnitude, weaken,
+                             static_cast<std::uint64_t>(n * 100 + magnitude % 97 +
+                                                        (weaken ? 1 : 0)));
+        table.add_row({bench::fmt(static_cast<std::int64_t>(n)),
+                       weaken ? "weak (witness-only)" : "full (<>P view)",
+                       bench::fmt(magnitude), bench::fmt(cell.completeness_time),
+                       bench::fmt(cell.accuracy_time), bench::pass(cell.ok)});
+      }
+    }
+  }
+  table.print();
+  std::printf(
+      "Expected shape: completeness/accuracy times are flat across corruption "
+      "magnitudes\n(0 vs 10^6): Figure 4 self-stabilizes by leaping past "
+      "corrupted counters, not by\ncounting through them.\n");
+}
+
+void BM_DetectorStack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventSimulator sim(AsyncConfig{.seed = 1}, stack(n, true));
+    sim.run_until(2000);
+    benchmark::DoNotOptimize(sim.messages_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);  // ticks simulated
+}
+BENCHMARK(BM_DetectorStack)->Arg(3)->Arg(9);
+
+}  // namespace
+}  // namespace ftss
+
+int main(int argc, char** argv) {
+  ftss::print_exp5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// EXP3 — Theorem 1: under Tentative Definition 1 no finite stabilization
+// time exists; under Definition 2.4 (piecewise stability) the same
+// executions stabilize within 1 round of the de-stabilizing event.
+//
+// Construction (the proof's scenario): a faulty process hides (omits all
+// sends) until round R with a corrupted round variable.  For EVERY R the
+// correct process suffers a rate violation exactly at round R — so for any
+// candidate finite stabilization time r, choosing R > r falsifies the
+// tentative definition — while the coterie change at R excuses it under
+// Definition 2.4.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/predicates.h"
+#include "core/round_agreement.h"
+#include "sim/simulator.h"
+
+namespace ftss {
+namespace {
+
+std::vector<std::unique_ptr<SyncProcess>> system_of(int n) {
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<RoundAgreementProcess>(p));
+  }
+  return procs;
+}
+
+void print_exp3() {
+  bench::Table table(
+      "EXP3 (Thm 1): disruption round grows with reveal round R (tentative "
+      "def. needs stab > R for every R => unbounded); Def 2.4 stab stays <= 1",
+      {"n", "reveal R", "violation round", "coterie change", "tentative stab > R-1",
+       "Def2.4 stab", "Def2.4 ok (stab=1)"});
+  for (int n : {2, 8}) {
+    for (Round reveal = 2; reveal <= 512; reveal *= 2) {
+      SyncSimulator sim(SyncConfig{.seed = 1, .record_states = false},
+                        system_of(n));
+      Value corrupted;
+      corrupted["c"] = Value(10'000'000);
+      sim.corrupt_state(n - 1, corrupted);
+      sim.set_fault_plan(n - 1, FaultPlan::hide_until(reveal));
+      sim.run_rounds(static_cast<int>(reveal) + 10);
+      const auto& h = sim.history();
+      auto violations =
+          rate_violation_rounds(h, 1, h.length(), h.faulty());
+      const Round violation =
+          violations.empty() ? -1 : violations.back();
+      auto m = measure_round_agreement(h);
+      const Round def24 = m.time().value_or(-1);
+      table.add_row(
+          {bench::fmt(static_cast<std::int64_t>(n)), bench::fmt(reveal),
+           bench::fmt(violation), bench::fmt(h.last_coterie_change()),
+           bench::pass(violation >= reveal),  // Sigma broken after any r < R
+           bench::fmt(def24),
+           bench::pass(def24 >= 0 && def24 <= 1 &&
+                       check_round_agreement_ftss(h, 1).ok)});
+    }
+  }
+  table.print();
+}
+
+void BM_RevealScenario(benchmark::State& state) {
+  const Round reveal = state.range(0);
+  for (auto _ : state) {
+    SyncSimulator sim(SyncConfig{.seed = 1, .record_states = false},
+                      system_of(2));
+    Value corrupted;
+    corrupted["c"] = Value(10'000'000);
+    sim.corrupt_state(1, corrupted);
+    sim.set_fault_plan(1, FaultPlan::hide_until(reveal));
+    sim.run_rounds(static_cast<int>(reveal) + 10);
+    benchmark::DoNotOptimize(sim.history().last_coterie_change());
+  }
+}
+BENCHMARK(BM_RevealScenario)->Arg(16)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace ftss
+
+int main(int argc, char** argv) {
+  ftss::print_exp3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// EXP10 — "synchronous, but not perfectly synchronized" systems (§3's
+// opening remark).  Delivery jitter of up to Δ extra rounds:
+//   * Figure 1 degrades gracefully from exact round agreement to
+//     Δ-agreement (correct clocks within Δ), with stabilization growing
+//     mildly in Δ;
+//   * the Figure 3 compiler as published does NOT survive jitter (same-round
+//     tag matching starves Π) — quantified as the clean-iteration rate.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/compiler.h"
+#include "core/predicates.h"
+#include "core/round_agreement.h"
+#include "protocols/floodset.h"
+#include "protocols/repeated.h"
+#include "sim/simulator.h"
+
+namespace ftss {
+namespace {
+
+Round spread_at(const History& h, Round r, const std::vector<bool>& faulty) {
+  std::optional<Round> lo, hi;
+  for (int p = 0; p < h.n; ++p) {
+    if (faulty[p] || !h.at(r).alive[p] || !h.at(r).clock[p]) continue;
+    const Round c = *h.at(r).clock[p];
+    lo = lo ? std::min(*lo, c) : c;
+    hi = hi ? std::max(*hi, c) : c;
+  }
+  return (lo && hi) ? *hi - *lo : 0;
+}
+
+void print_round_agreement_under_jitter() {
+  bench::Table table(
+      "EXP10a: Figure 1 under delivery jitter Delta - unchanged protocol "
+      "still reaches EXACT agreement; only stabilization grows (n=5, "
+      "corrupted clocks, 20 seeds)",
+      {"Delta", "max stabilization", "mean stabilization",
+       "steady max spread", "exact agreement"});
+  for (int delta : {0, 1, 2, 4, 8}) {
+    Round max_spread = 0;
+    Round max_stab = 0;
+    double stab_total = 0;
+    int stab_count = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      std::vector<std::unique_ptr<SyncProcess>> procs;
+      for (ProcessId p = 0; p < 5; ++p) {
+        procs.push_back(std::make_unique<RoundAgreementProcess>(p));
+      }
+      SyncSimulator sim(SyncConfig{.seed = seed,
+                                   .record_states = false,
+                                   .max_extra_delay = delta},
+                        std::move(procs));
+      Rng rng(seed);
+      for (int p = 0; p < 5; ++p) {
+        Value s;
+        s["c"] = Value(rng.uniform(-1000, 1000));
+        sim.corrupt_state(p, s);
+      }
+      sim.run_rounds(80);
+      const auto& h = sim.history();
+      const auto faulty = h.faulty();
+      // Stabilization: first round from which the spread is 0 to the end.
+      Round stable_from = h.length() + 1;
+      for (Round r = h.length(); r >= 1; --r) {
+        if (spread_at(h, r, faulty) != 0) break;
+        stable_from = r;
+      }
+      if (stable_from <= h.length()) {
+        max_stab = std::max(max_stab, stable_from - 1);
+        stab_total += static_cast<double>(stable_from - 1);
+        ++stab_count;
+      }
+      for (Round r = 20 + 4 * delta; r <= h.length(); ++r) {
+        max_spread = std::max(max_spread, spread_at(h, r, faulty));
+      }
+    }
+    table.add_row({bench::fmt(static_cast<std::int64_t>(delta)),
+                   bench::fmt(max_stab),
+                   bench::fmt(stab_count ? stab_total / stab_count : -1.0),
+                   bench::fmt(max_spread), bench::pass(max_spread == 0)});
+  }
+  table.print();
+  std::printf(
+      "Expected shape: exact agreement holds for every Delta (a process "
+      "always hears its own\nbroadcast, so stale remote tags can never exceed "
+      "a synchronized clock); stabilization\ngrows roughly linearly with "
+      "Delta (the corrupted maximum spreads one jittered hop at\na time).  "
+      "This substantiates Sec 3's \"readily adapt\" remark for Figure 1.\n");
+}
+
+void print_compiler_under_jitter() {
+  bench::Table table(
+      "EXP10b: Figure 3 compiler under jitter - fraction of clean iterations "
+      "(n=4, f=1, clean start, 10 seeds)",
+      {"Delta", "iterations", "clean", "clean %"});
+  auto protocol = std::make_shared<FloodSetConsensus>(1);
+  InputSource inputs = [](ProcessId p, std::int64_t iteration) {
+    return Value(100 * iteration + p);
+  };
+  for (int delta : {0, 1, 2, 4}) {
+    std::int64_t total = 0, clean = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      SyncSimulator sim(SyncConfig{.seed = seed,
+                                   .record_states = false,
+                                   .max_extra_delay = delta},
+                        compile_protocol(4, protocol, inputs));
+      sim.run_rounds(40);
+      auto analysis = analyze_repeated(compiled_views(sim),
+                                       sim.history().faulty(),
+                                       consensus_validity_any(inputs, 4));
+      for (const auto& it : analysis.iterations) {
+        ++total;
+        if (RepeatedAnalysis::clean(it, true)) ++clean;
+      }
+    }
+    table.add_row({bench::fmt(static_cast<std::int64_t>(delta)),
+                   bench::fmt(total), bench::fmt(clean),
+                   bench::fmt(total ? 100.0 * clean / total : 0.0) + "%"});
+  }
+  table.print();
+  std::printf(
+      "Expected shape: Delta=0 -> 100%% clean; any jitter collapses the "
+      "clean rate: the\ncompiler's same-round tag matching requires the "
+      "perfectly synchronous model, which\nis why Sec 3 replaces it with "
+      "re-sends and round gossip for asynchronous systems.\n");
+}
+
+void BM_JitteredRounds(benchmark::State& state) {
+  const int delta = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<SyncProcess>> procs;
+    for (ProcessId p = 0; p < 8; ++p) {
+      procs.push_back(std::make_unique<RoundAgreementProcess>(p));
+    }
+    SyncSimulator sim(SyncConfig{.seed = 1,
+                                 .record_states = false,
+                                 .max_extra_delay = delta},
+                      std::move(procs));
+    sim.run_rounds(50);
+    benchmark::DoNotOptimize(sim.history().length());
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_JitteredRounds)->Arg(0)->Arg(2)->Arg(8);
+
+}  // namespace
+}  // namespace ftss
+
+int main(int argc, char** argv) {
+  ftss::print_round_agreement_under_jitter();
+  ftss::print_compiler_under_jitter();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

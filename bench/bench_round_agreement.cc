@@ -1,0 +1,151 @@
+// EXP1 — Figure 1 / Theorem 3: round agreement ftss-solves round agreement
+// with stabilization time 1, for any corruption magnitude and up to f
+// general-omission faults.
+//
+// Paper claim (Theorem 3): stabilization time of 1 round after the coterie
+// stops changing.  Measured: max over seeds of the empirical stabilization
+// time (first round from which Assumption 1 holds continuously, relative to
+// the last coterie change).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/predicates.h"
+#include "core/round_agreement.h"
+#include "sim/simulator.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace ftss {
+namespace {
+
+std::vector<std::unique_ptr<SyncProcess>> system_of(int n) {
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<RoundAgreementProcess>(p));
+  }
+  return procs;
+}
+
+Value clock_state(Round c) {
+  Value s;
+  s["c"] = Value(c);
+  return s;
+}
+
+struct Cell {
+  Round max_stab = 0;
+  double mean_stab = 0;
+  bool all_ftss_ok = true;
+  int unstable = 0;
+};
+
+struct SeedResult {
+  bool ftss_ok = true;
+  std::optional<Round> stab;
+};
+
+Cell run_cell(int n, int f, std::int64_t magnitude, int seeds) {
+  auto per_seed = parallel_sweep<SeedResult>(
+      static_cast<std::size_t>(seeds), [&](std::size_t idx) {
+        const auto seed = static_cast<std::uint64_t>(idx + 1);
+        Rng rng(seed * 7919 + n * 131 + f);
+        SyncSimulator sim(SyncConfig{.seed = seed, .record_states = false},
+                          system_of(n));
+        for (ProcessId p = 0; p < n; ++p) {
+          sim.corrupt_state(p,
+                            clock_state(rng.uniform(-magnitude, magnitude)));
+        }
+        for (int idx2 : rng.sample(n, f)) {
+          switch (rng.uniform(0, 3)) {
+            case 0:
+              sim.set_fault_plan(idx2, FaultPlan::crash(rng.uniform(1, 10)));
+              break;
+            case 1:
+              sim.set_fault_plan(idx2, FaultPlan::lossy(0.5, 0.3));
+              break;
+            case 2:
+              sim.set_fault_plan(idx2,
+                                 FaultPlan::hide_until(rng.uniform(2, 12)));
+              break;
+            default:
+              sim.set_fault_plan(idx2, FaultPlan::mute());
+              break;
+          }
+        }
+        sim.run_rounds(40);
+        return SeedResult{check_round_agreement_ftss(sim.history(), 1).ok,
+                          measure_round_agreement(sim.history()).time()};
+      });
+
+  Cell cell;
+  double total = 0;
+  int counted = 0;
+  for (const auto& r : per_seed) {
+    cell.all_ftss_ok &= r.ftss_ok;
+    if (r.stab) {
+      cell.max_stab = std::max(cell.max_stab, *r.stab);
+      total += static_cast<double>(*r.stab);
+      ++counted;
+    } else {
+      ++cell.unstable;
+    }
+  }
+  cell.mean_stab = counted > 0 ? total / counted : -1;
+  return cell;
+}
+
+void print_exp1() {
+  bench::Table table(
+      "EXP1 (Fig 1, Thm 3): round-agreement stabilization time, paper bound = 1 round",
+      {"n", "f", "corruption", "seeds", "max stab", "mean stab",
+       "<= bound", "ftss(Def2.4) ok"});
+  const int seeds = 20;
+  for (int n : {4, 8, 16, 32, 64}) {
+    const int f = (n - 1) / 2;
+    for (std::int64_t magnitude : {10LL, 1000LL, 1000000LL}) {
+      Cell cell = run_cell(n, f, magnitude, seeds);
+      table.add_row({bench::fmt(static_cast<std::int64_t>(n)),
+                     bench::fmt(static_cast<std::int64_t>(f)),
+                     bench::fmt(magnitude),
+                     bench::fmt(static_cast<std::int64_t>(seeds)),
+                     bench::fmt(cell.max_stab), bench::fmt(cell.mean_stab),
+                     bench::pass(cell.max_stab <= 1 && cell.unstable == 0),
+                     bench::pass(cell.all_ftss_ok)});
+    }
+  }
+  table.print();
+}
+
+// Substrate timing: cost of one simulated all-to-all round.
+void BM_RoundAgreementRounds(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SyncSimulator sim(SyncConfig{.seed = 1, .record_states = false},
+                      system_of(n));
+    sim.run_rounds(20);
+    benchmark::DoNotOptimize(sim.history().length());
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_RoundAgreementRounds)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FtssCheck(benchmark::State& state) {
+  SyncSimulator sim(SyncConfig{.seed = 1, .record_states = false},
+                    system_of(16));
+  sim.corrupt_state(0, clock_state(1000));
+  sim.run_rounds(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_round_agreement_ftss(sim.history(), 1).ok);
+  }
+}
+BENCHMARK(BM_FtssCheck);
+
+}  // namespace
+}  // namespace ftss
+
+int main(int argc, char** argv) {
+  ftss::print_exp1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

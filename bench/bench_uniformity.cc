@@ -1,0 +1,103 @@
+// EXP4 — Theorem 2: protocols that restrict faulty behavior via
+// "self-check and halt" (Assumption 2 / uniformity) cannot ftss-solve any
+// problem: after a systemic failure the self-check halts CORRECT processes,
+// permanently violating Assumption 1.  The non-uniform Figure 1 protocol
+// recovers from the identical scenario in one round.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/predicates.h"
+#include "core/round_agreement.h"
+#include "sim/simulator.h"
+
+namespace ftss {
+namespace {
+
+template <typename ProcessType>
+std::vector<std::unique_ptr<SyncProcess>> system_of(int n) {
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<ProcessType>(p));
+  }
+  return procs;
+}
+
+Value clock_state(Round c) {
+  Value s;
+  s["c"] = Value(c);
+  return s;
+}
+
+struct Outcome {
+  int halted_correct = 0;
+  bool ftss_ok_stab1 = false;
+  Round measured_stab = -1;
+};
+
+template <typename ProcessType>
+Outcome run(int n, Round corrupt_to) {
+  SyncSimulator sim(SyncConfig{.seed = 1, .record_states = false},
+                    system_of<ProcessType>(n));
+  sim.corrupt_state(0, clock_state(corrupt_to));
+  sim.run_rounds(12);
+  const auto& h = sim.history();
+  Outcome out;
+  for (int p = 0; p < n; ++p) {
+    if (h.at(h.length()).halted[p]) ++out.halted_correct;
+  }
+  out.ftss_ok_stab1 = check_round_agreement_ftss(h, 1).ok;
+  auto m = measure_round_agreement(h);
+  out.measured_stab = m.time().value_or(-1);
+  return out;
+}
+
+void print_exp4() {
+  bench::Table table(
+      "EXP4 (Thm 2): uniform (self-check-and-halt) vs non-uniform round "
+      "agreement after corrupting one CORRECT process's clock",
+      {"n", "corrupt c_0 to", "protocol", "halted correct", "stab time",
+       "ftss ok (stab 1)"});
+  for (int n : {2, 4, 8}) {
+    for (Round magnitude : {10LL, 1000LL, 1000000LL, -50LL}) {
+      auto uniform = run<UniformRoundAgreementProcess>(n, magnitude);
+      auto plain = run<RoundAgreementProcess>(n, magnitude);
+      table.add_row({bench::fmt(static_cast<std::int64_t>(n)),
+                     bench::fmt(magnitude), "uniform (Asm 2)",
+                     bench::fmt(static_cast<std::int64_t>(uniform.halted_correct)),
+                     uniform.measured_stab < 0 ? "never"
+                                               : bench::fmt(uniform.measured_stab),
+                     bench::pass(uniform.ftss_ok_stab1)});
+      table.add_row({bench::fmt(static_cast<std::int64_t>(n)),
+                     bench::fmt(magnitude), "Figure 1",
+                     bench::fmt(static_cast<std::int64_t>(plain.halted_correct)),
+                     plain.measured_stab < 0 ? "never"
+                                             : bench::fmt(plain.measured_stab),
+                     bench::pass(plain.ftss_ok_stab1)});
+    }
+  }
+  table.print();
+  std::printf(
+      "Expected shape: the uniform protocol halts every correct process and "
+      "never stabilizes\n(Theorem 2's impossibility); Figure 1 stabilizes in "
+      "1 round from every corruption.\n");
+}
+
+void BM_UniformRound(benchmark::State& state) {
+  for (auto _ : state) {
+    SyncSimulator sim(SyncConfig{.seed = 1, .record_states = false},
+                      system_of<UniformRoundAgreementProcess>(8));
+    sim.run_rounds(20);
+    benchmark::DoNotOptimize(sim.history().length());
+  }
+}
+BENCHMARK(BM_UniformRound);
+
+}  // namespace
+}  // namespace ftss
+
+int main(int argc, char** argv) {
+  ftss::print_exp4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared table-reporting helpers for the experiment benches.
+//
+// Each bench binary reproduces one experiment from DESIGN.md's index: it
+// prints a table of paper-predicted bounds next to measured values (the
+// paper is theory-only, so "reproduction" = empirical validation of each
+// theorem/protocol's claimed behavior), then runs google-benchmark timings
+// for the substrate operations involved.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ftss::bench {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : "";
+        std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::printf("|");
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(std::int64_t v) { return std::to_string(v); }
+inline std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+inline std::string pass(bool ok) { return ok ? "yes" : "NO"; }
+
+}  // namespace ftss::bench

@@ -1,0 +1,80 @@
+// §3 end-to-end: asynchronous Consensus that tolerates crash AND systemic
+// failures, next to the plain Chandra-Toueg baseline that deadlocks.
+//
+// Both systems start from the same corrupted state — every process believes
+// it already sent its current-phase messages (the paper's motivating
+// deadlock) and the failure-detector tables claim everyone is dead.  One
+// process additionally crashes.  The baseline waits forever; our protocol
+// (periodic re-send + superimposed round agreement, over the Figure 4
+// detector) decides.
+//
+//   ./build/examples/async_consensus
+#include <cstdio>
+
+#include "consensus/harness.h"
+#include "util/rng.h"
+
+using namespace ftss;
+
+namespace {
+
+ConsensusOutcome run(bool ftss, const char* label) {
+  const int n = 5;
+  ConsensusSystemConfig config;
+  config.n = n;
+  config.async.seed = 3;
+  config.stabilization =
+      ftss ? StabilizationOptions::ftss() : StabilizationOptions::baseline();
+  config.weaken_detector = ftss;
+  for (int p = 0; p < n; ++p) config.inputs.push_back(Value(100 + p));
+
+  auto sim = build_consensus_system(config);
+  Rng rng(17);
+  for (ProcessId p = 0; p < n; ++p) {
+    sim->corrupt_state(p,
+                       make_corrupt_state(CorruptionPattern::kFull, p, n, rng));
+  }
+  sim->schedule_crash(2, 800);
+
+  const Time horizon = 200'000;
+  sim->run_until(horizon);
+  auto outcome = evaluate_consensus(*sim, config.inputs);
+
+  std::printf("%s:\n", label);
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto* cons = consensus_view(*sim, p);
+    if (sim->crashed(p)) {
+      std::printf("  p%d: crashed\n", p);
+    } else if (cons->decided()) {
+      std::printf("  p%d: decided %s at t=%lld (round %lld)\n", p,
+                  cons->decision().to_string().c_str(),
+                  static_cast<long long>(cons->decision_time().value_or(-1)),
+                  static_cast<long long>(cons->round()));
+    } else {
+      std::printf("  p%d: UNDECIDED after t=%lld (round %lld)\n", p,
+                  static_cast<long long>(horizon),
+                  static_cast<long long>(cons->round()));
+    }
+  }
+  std::printf("  => decided %d/%d correct, agreement=%s\n\n",
+              outcome.decided_count, outcome.correct_count,
+              outcome.agreement ? "yes" : "NO");
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Scenario: all 5 processes start from corrupted state (phase flags "
+      "claim messages\nalready sent; detector tables claim everyone dead; "
+      "round counters scrambled);\nprocess 2 crashes at t=800.\n\n");
+  auto baseline = run(false, "CT91 baseline (no resend, no round agreement)");
+  auto ours = run(true, "ours (CT91 + resend + round agreement, Fig 4 detector)");
+
+  const bool shape_holds = baseline.decided_count == 0 &&
+                           ours.all_correct_decided && ours.agreement;
+  std::printf("paper's shape (baseline deadlocks, ours decides): %s\n",
+              shape_holds ? "reproduced" : "NOT reproduced");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Figure 4 live view: the self-stabilizing ◇W → ◇S transformation.
+//
+// Every node's detector table starts CORRUPTED (random num[], everyone
+// flagged dead); process 0 really crashes at t=500.  We print the suspicion
+// matrix over time: the corrupted "dead" entries for live processes heal
+// (eventual weak accuracy), while the real crash propagates from its single
+// ◇W witness to every correct process (strong completeness).
+//
+//   ./build/examples/failure_detector
+#include <cstdio>
+
+#include "detect/gossip_fd.h"
+#include "detect/heartbeat_fd.h"
+#include "util/rng.h"
+
+using namespace ftss;
+
+int main() {
+  const int n = 5;
+
+  std::vector<std::unique_ptr<AsyncProcess>> nodes;
+  for (ProcessId p = 0; p < n; ++p) {
+    auto hb = std::make_unique<HeartbeatFd>(p, n);
+    // Strictly ◇W input: only s's witness sees the local suspicion of s.
+    auto gfd =
+        std::make_unique<GossipStrongFd>(p, n, weak_view(hb.get(), p, n));
+    std::vector<std::unique_ptr<Module>> mods;
+    mods.push_back(std::move(hb));
+    mods.push_back(std::move(gfd));
+    nodes.push_back(std::make_unique<ModuleHost>(std::move(mods)));
+  }
+  EventSimulator sim(AsyncConfig{.seed = 5}, std::move(nodes));
+
+  // Systemic failure: corrupt every detector table.
+  Rng rng(99);
+  for (ProcessId p = 0; p < n; ++p) {
+    Value::Array nums, alive;
+    for (int s = 0; s < n; ++s) {
+      nums.push_back(Value(rng.uniform(0, 100000)));
+      alive.push_back(Value(false));  // everyone believed dead
+    }
+    Value state;
+    state["gfd"] = Value::map({{"num", Value(nums)}, {"alive", Value(alive)}});
+    sim.corrupt_state(p, state);
+  }
+  sim.schedule_crash(0, 500);
+
+  std::printf(
+      "suspicion matrix over time: row = observer, column = target,\n"
+      "'X' = suspected (state[s] = dead), '.' = trusted.  Process 0 crashes "
+      "at t=500.\n\n");
+  for (Time t : {Time{50}, Time{200}, Time{600}, Time{1500}, Time{4000},
+                 Time{10000}}) {
+    sim.run_until(t);
+    std::printf("t=%-6lld  ", static_cast<long long>(t));
+    for (ProcessId p = 0; p < n; ++p) {
+      if (sim.crashed(p)) {
+        std::printf("p%d:crash  ", p);
+        continue;
+      }
+      const auto* gfd =
+          dynamic_cast<const ModuleHost&>(sim.process(p))
+              .find<GossipStrongFd>("gfd");
+      std::printf("p%d:", p);
+      for (ProcessId s = 0; s < n; ++s) {
+        std::printf("%c", gfd->suspects(s) ? 'X' : '.');
+      }
+      std::printf("  ");
+    }
+    std::printf("\n");
+  }
+
+  // Final verdict: strong completeness + accuracy among correct.
+  bool complete = true, accurate = true;
+  for (ProcessId p = 1; p < n; ++p) {
+    const auto* gfd = dynamic_cast<const ModuleHost&>(sim.process(p))
+                          .find<GossipStrongFd>("gfd");
+    complete &= gfd->suspects(0);
+    for (ProcessId s = 1; s < n; ++s) accurate &= !gfd->suspects(s);
+  }
+  std::printf(
+      "\nstrong completeness (all correct suspect p0): %s\n"
+      "accuracy (no correct suspects a correct): %s\n",
+      complete ? "yes" : "NO", accurate ? "yes" : "NO");
+  return complete && accurate ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+#include "async/event_sim.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ftss {
+
+class EventSimulator::ContextImpl : public AsyncContext {
+ public:
+  ContextImpl(EventSimulator* sim, ProcessId self) : sim_(sim), self_(self) {}
+
+  Time now() const override { return sim_->now_; }
+  ProcessId self() const override { return self_; }
+  int process_count() const override { return sim_->process_count(); }
+
+  void send(ProcessId to, Value payload) override {
+    if (to < 0 || to >= sim_->process_count()) {
+      throw std::out_of_range("AsyncContext::send: bad destination");
+    }
+    sim_->enqueue_message(self_, to, std::move(payload));
+  }
+
+  void broadcast(const Value& payload) override {
+    for (ProcessId q = 0; q < sim_->process_count(); ++q) {
+      sim_->enqueue_message(self_, q, payload);
+    }
+  }
+
+ private:
+  EventSimulator* sim_;
+  ProcessId self_;
+};
+
+EventSimulator::EventSimulator(
+    AsyncConfig config, std::vector<std::unique_ptr<AsyncProcess>> processes)
+    : config_(config),
+      rng_(config.seed),
+      processes_(std::move(processes)),
+      skip_start_(processes_.size(), false),
+      crash_at_(processes_.size()) {}
+
+void EventSimulator::corrupt_state(ProcessId p, const Value& state,
+                                   bool skip_start) {
+  if (started_) throw std::logic_error("corruption must precede execution");
+  processes_.at(p)->restore_state(state);
+  skip_start_.at(p) = skip_start;
+}
+
+void EventSimulator::schedule_crash(ProcessId p, Time t) {
+  if (started_) throw std::logic_error("crashes must be scheduled up front");
+  crash_at_.at(p) = t;
+}
+
+bool EventSimulator::crashed(ProcessId p) const {
+  return crash_at_[p] && now_ >= *crash_at_[p];
+}
+
+std::vector<bool> EventSimulator::crashed_by_now() const {
+  std::vector<bool> out(processes_.size());
+  for (int p = 0; p < process_count(); ++p) out[p] = crashed(p);
+  return out;
+}
+
+void EventSimulator::enqueue_message(ProcessId from, ProcessId to,
+                                     Value payload) {
+  ++messages_sent_;
+  const Time max_delay =
+      now_ < config_.gst ? config_.max_delay_pre_gst : config_.max_delay;
+  const Time delay = rng_.uniform(config_.min_delay, max_delay);
+  queue_.push(Event{now_ + delay, next_seq_++, Event::Kind::kMessage, to, from,
+                    std::move(payload)});
+}
+
+void EventSimulator::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  for (ProcessId p = 0; p < process_count(); ++p) {
+    ContextImpl ctx(this, p);
+    if (!skip_start_[p] && !(crash_at_[p] && *crash_at_[p] <= 0)) {
+      processes_[p]->on_start(ctx);
+    }
+    // First tick staggered per process for determinism without lock-step.
+    queue_.push(Event{config_.tick_interval + p % config_.tick_interval,
+                      next_seq_++, Event::Kind::kTick, p, p, Value()});
+  }
+}
+
+void EventSimulator::run_until(Time until) {
+  ensure_started();
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    if (crash_at_[ev.target] && now_ >= *crash_at_[ev.target]) {
+      continue;  // crashed processes receive nothing and never tick again
+    }
+    ContextImpl ctx(this, ev.target);
+    if (ev.kind == Event::Kind::kTick) {
+      processes_[ev.target]->on_tick(ctx);
+      queue_.push(Event{now_ + config_.tick_interval, next_seq_++,
+                        Event::Kind::kTick, ev.target, ev.target, Value()});
+    } else {
+      ++messages_delivered_;
+      processes_[ev.target]->on_message(ctx, ev.from, ev.payload);
+    }
+  }
+  now_ = until;
+}
+
+}  // namespace ftss

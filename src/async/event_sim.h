@@ -1,0 +1,138 @@
+// Discrete-event simulator for the asynchronous model of §3.
+//
+// Processes communicate over reliable but arbitrarily-slow channels; there
+// is no global round structure.  An optional Global Stabilization Time (GST)
+// bounds message delays from some point on — the standard partial-synchrony
+// device that makes an Eventually Weak Failure Detector implementable
+// (without it, ◇-accuracy cannot be realized and the detector remains an
+// oracle).  Fault model: crash failures and systemic failures (arbitrary
+// initial states, optionally skipping protocol initialization to model a
+// system that "commences execution" mid-flight).
+//
+// Determinism: every run is a pure function of the config seed; events are
+// ordered by (time, sequence number).
+//
+// Ticks: each live process receives an unconditional periodic on_tick.  This
+// models the "when true:" guarded commands of Figure 4 — a self-stabilizing
+// process must have a source of activity that does not depend on its
+// (corruptible) state, otherwise a corrupted process with no pending events
+// could remain silent forever.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace ftss {
+
+using Time = std::int64_t;
+
+class AsyncContext {
+ public:
+  virtual ~AsyncContext() = default;
+  virtual Time now() const = 0;
+  virtual ProcessId self() const = 0;
+  virtual int process_count() const = 0;
+  // Reliable asynchronous unicast/broadcast (broadcast includes self).
+  virtual void send(ProcessId to, Value payload) = 0;
+  virtual void broadcast(const Value& payload) = 0;
+};
+
+class AsyncProcess {
+ public:
+  virtual ~AsyncProcess() = default;
+
+  // Protocol-specified initialization, run at time 0.  A systemic failure
+  // may cause it to be SKIPPED (the process commences in an arbitrary state
+  // instead) — self-stabilizing protocols must not rely on it.
+  virtual void on_start(AsyncContext& ctx) { (void)ctx; }
+
+  // Unconditional periodic activation (see header comment).
+  virtual void on_tick(AsyncContext& ctx) { (void)ctx; }
+
+  virtual void on_message(AsyncContext& ctx, ProcessId from,
+                          const Value& payload) = 0;
+
+  virtual Value snapshot_state() const = 0;
+  virtual void restore_state(const Value& state) = 0;
+};
+
+struct AsyncConfig {
+  std::uint64_t seed = 1;
+  Time tick_interval = 10;
+
+  // Message delay model: uniform in [min_delay, max_delay_pre_gst] for
+  // messages sent before gst, uniform in [min_delay, max_delay] afterwards.
+  Time min_delay = 1;
+  Time max_delay = 20;
+  Time max_delay_pre_gst = 200;
+  Time gst = 0;
+};
+
+class EventSimulator {
+ public:
+  EventSimulator(AsyncConfig config,
+                 std::vector<std::unique_ptr<AsyncProcess>> processes);
+
+  int process_count() const { return static_cast<int>(processes_.size()); }
+
+  // Systemic failure: replace p's initial state; if skip_start (the default,
+  // matching the model: execution commences in an arbitrary state), p's
+  // on_start is not invoked.  Must precede run().
+  void corrupt_state(ProcessId p, const Value& state, bool skip_start = true);
+
+  // Crash p at time t (no events delivered to it at or after t).
+  void schedule_crash(ProcessId p, Time t);
+
+  // Advance simulated time, dispatching all events with time <= until.
+  void run_until(Time until);
+
+  Time now() const { return now_; }
+  bool crashed(ProcessId p) const;
+  std::vector<bool> crashed_by_now() const;
+  AsyncProcess& process(ProcessId p) { return *processes_.at(p); }
+  const AsyncProcess& process(ProcessId p) const { return *processes_.at(p); }
+
+  // Counters for overhead reporting.
+  std::int64_t messages_sent() const { return messages_sent_; }
+  std::int64_t messages_delivered() const { return messages_delivered_; }
+
+ private:
+  struct Event {
+    Time time = 0;
+    std::int64_t seq = 0;  // FIFO tie-break for determinism
+    enum class Kind { kMessage, kTick } kind = Kind::kMessage;
+    ProcessId target = -1;
+    ProcessId from = -1;
+    Value payload;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  class ContextImpl;
+
+  void ensure_started();
+  void enqueue_message(ProcessId from, ProcessId to, Value payload);
+
+  AsyncConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<AsyncProcess>> processes_;
+  std::vector<bool> skip_start_;
+  std::vector<std::optional<Time>> crash_at_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  Time now_ = 0;
+  std::int64_t next_seq_ = 0;
+  std::int64_t messages_sent_ = 0;
+  std::int64_t messages_delivered_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ftss

@@ -1,0 +1,70 @@
+#include "async/module.h"
+
+#include <stdexcept>
+
+namespace ftss {
+
+void ModuleContext::send(ProcessId to, Value body) {
+  Value wrapped;
+  wrapped["mod"] = Value(channel_);
+  wrapped["body"] = std::move(body);
+  ctx_.send(to, std::move(wrapped));
+}
+
+void ModuleContext::broadcast(Value body) {
+  Value wrapped;
+  wrapped["mod"] = Value(channel_);
+  wrapped["body"] = std::move(body);
+  ctx_.broadcast(wrapped);
+}
+
+ModuleHost::ModuleHost(std::vector<std::unique_ptr<Module>> modules)
+    : modules_(std::move(modules)) {
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    for (std::size_t j = i + 1; j < modules_.size(); ++j) {
+      if (modules_[i]->channel() == modules_[j]->channel()) {
+        throw std::logic_error("duplicate module channel: " +
+                               modules_[i]->channel());
+      }
+    }
+  }
+}
+
+void ModuleHost::on_start(AsyncContext& ctx) {
+  for (auto& m : modules_) {
+    ModuleContext mctx(ctx, m->channel());
+    m->on_start(mctx);
+  }
+}
+
+void ModuleHost::on_tick(AsyncContext& ctx) {
+  for (auto& m : modules_) {
+    ModuleContext mctx(ctx, m->channel());
+    m->on_tick(mctx);
+  }
+}
+
+void ModuleHost::on_message(AsyncContext& ctx, ProcessId from,
+                            const Value& payload) {
+  const Value& channel = payload.at("mod");
+  if (!channel.is_string()) return;  // malformed wire data: drop
+  for (auto& m : modules_) {
+    if (m->channel() == channel.as_string()) {
+      ModuleContext mctx(ctx, m->channel());
+      m->on_message(mctx, from, payload.at("body"));
+      return;
+    }
+  }
+}
+
+Value ModuleHost::snapshot_state() const {
+  Value v;
+  for (const auto& m : modules_) v[m->channel()] = m->snapshot();
+  return v;
+}
+
+void ModuleHost::restore_state(const Value& state) {
+  for (auto& m : modules_) m->restore(state.at(m->channel()));
+}
+
+}  // namespace ftss

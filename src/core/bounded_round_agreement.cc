@@ -1,0 +1,54 @@
+#include "core/bounded_round_agreement.h"
+
+#include <algorithm>
+
+#include "util/numeric.h"
+
+namespace ftss {
+
+BoundedRoundAgreementProcess::BoundedRoundAgreementProcess(ProcessId self,
+                                                           std::int64_t modulus,
+                                                           Round initial_round)
+    : self_(self),
+      modulus_(std::max<std::int64_t>(modulus, 2)),
+      c_(floor_mod(initial_round, modulus_)) {}
+
+void BoundedRoundAgreementProcess::begin_round(Outbox& out) {
+  Value m;
+  m["type"] = Value("ROUND");
+  m["p"] = Value(static_cast<std::int64_t>(self_));
+  m["c"] = Value(c_);
+  out.broadcast(std::move(m));
+}
+
+void BoundedRoundAgreementProcess::end_round(
+    const std::vector<Message>& delivered) {
+  // The naive bounded rule: integer max over representatives, then +1 mod M.
+  // (There is no "right" rule — orderlessness of the cyclic group is the
+  // impossibility; this representative-max rule is the natural candidate.)
+  bool any = false;
+  Round best = c_;
+  for (const auto& m : delivered) {
+    const Value& c = m.payload.at("c");
+    if (!c.is_int()) continue;
+    const Round t = floor_mod(c.as_int(), modulus_);
+    best = any ? std::max(best, t) : t;
+    any = true;
+  }
+  c_ = floor_mod((any ? best : c_) + 1, modulus_);
+}
+
+Value BoundedRoundAgreementProcess::snapshot_state() const {
+  Value s;
+  s["c"] = Value(c_);
+  return s;
+}
+
+void BoundedRoundAgreementProcess::restore_state(const Value& state) {
+  const Value& c = state.at("c");
+  c_ = floor_mod(c.is_int() ? c.as_int()
+                            : static_cast<Round>(state.hash() % 1000003),
+                 modulus_);
+}
+
+}  // namespace ftss

@@ -1,0 +1,50 @@
+// Round agreement with a BOUNDED round counter — the impossibility the paper
+// defers to its (never-published) full version: "the current round number is
+// counted by an unbounded variable.  In the full paper, we show an
+// impossibility for a bounded counter analogous to the impossibility shown
+// in Theorem 2" (§2.4).
+//
+// This protocol is Figure 1 with all arithmetic mod M: broadcast c, adopt
+// (max of received representatives + 1) mod M.  Why it cannot ftss-solve
+// round agreement: with unbounded counters, a faulty process that follows
+// its transition rule can never hold a counter AHEAD of the correct
+// maximum, so after it enters the coterie once it can never disturb the
+// correct processes again (the crux of Theorem 3's proof).  With a bounded
+// counter, "behind" and "ahead" are indistinguishable mod M: a lagging
+// faulty coterie member's representative periodically wraps into the
+// correct processes' future and yanks some of them forward — a disturbance
+// that recurs every O(M) rounds with NO coterie change to excuse it.
+// Piecewise stability is therefore violated for every finite stabilization
+// time once the history is long enough.
+//
+// tests/bounded_counter_test.cc builds exactly that execution and
+// bench/bench_bounded_counter measures disturbance recurrence vs M
+// (unbounded = one disturbance, bounded = Θ(horizon / M) of them).
+#pragma once
+
+#include "sim/process.h"
+
+namespace ftss {
+
+class BoundedRoundAgreementProcess : public SyncProcess {
+ public:
+  // Counters live in [0, modulus).
+  BoundedRoundAgreementProcess(ProcessId self, std::int64_t modulus,
+                               Round initial_round = 1);
+
+  void begin_round(Outbox& out) override;
+  void end_round(const std::vector<Message>& delivered) override;
+
+  Value snapshot_state() const override;
+  void restore_state(const Value& state) override;
+  std::optional<Round> round_counter() const override { return c_; }
+
+  std::int64_t modulus() const { return modulus_; }
+
+ private:
+  ProcessId self_;
+  std::int64_t modulus_;
+  Round c_;
+};
+
+}  // namespace ftss

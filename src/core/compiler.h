@@ -1,0 +1,82 @@
+// The compiler of §2.4 (Figure 3): superimposes the round-agreement protocol
+// of Figure 1 onto a terminating full-information protocol Π, producing the
+// non-terminating Π⁺ that ftss-solves Σ⁺ (Σ repeated forever) with
+// stabilization time final_round (Theorem 4).
+//
+// Mechanisms, exactly as in the figure:
+//   * every message carries both the STATE part (Π's payload) and a ROUND
+//     tag holding the sender's round variable;
+//   * a per-process `suspect` set accumulates every process from which an
+//     expected same-round message was not received this round; Π's
+//     transition only sees messages from non-suspects ("out-of-date" and
+//     corrupted-round messages are filtered, §2.4's "insidious problem");
+//   * the round variable is updated max(all received ROUND tags) + 1 — the
+//     Figure 1 rule, over *unfiltered* tags;
+//   * normalize(c) = c mod final_round + 1 maps the unbounded agreed counter
+//     onto Π's rounds 1..final_round;
+//   * when normalize(c) returns to 1 the iteration is over: state and
+//     suspect set are reset and a fresh input is drawn.
+//
+// For ablation experiments (EXP7) the two defenses can be individually
+// disabled; Theorem 4 only holds with both enabled.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "core/terminating.h"
+#include "sim/process.h"
+
+namespace ftss {
+
+struct CompilerOptions {
+  // Disable the suspect-set filter (ablation: Π sees every message).
+  bool use_suspect_filter = true;
+  // Disable round tagging/filtering entirely; Π⁺ still runs round agreement
+  // but Π consumes messages regardless of their ROUND tag (ablation).
+  bool use_round_tags = true;
+};
+
+class CompiledProcess : public SyncProcess {
+ public:
+  CompiledProcess(ProcessId self, int n,
+                  std::shared_ptr<const TerminatingProtocol> protocol,
+                  InputSource inputs, CompilerOptions options = {});
+
+  void begin_round(Outbox& out) override;
+  void end_round(const std::vector<Message>& delivered) override;
+
+  Value snapshot_state() const override;
+  void restore_state(const Value& state) override;
+  std::optional<Round> round_counter() const override { return c_; }
+
+  // Completed-iteration decisions, in the order they occurred.
+  const std::vector<DecisionRecord>& decisions() const { return decisions_; }
+
+  const std::set<ProcessId>& suspects() const { return suspect_; }
+
+ private:
+  std::int64_t iteration_of(Round c) const;
+  void reset_iteration(Round c);
+
+  ProcessId self_;
+  int n_;
+  std::shared_ptr<const TerminatingProtocol> protocol_;
+  InputSource inputs_;
+  CompilerOptions options_;
+
+  Value s_;
+  Round c_;
+  std::set<ProcessId> suspect_;
+  Value current_input_;
+
+  std::vector<DecisionRecord> decisions_;
+  Round actual_round_ = 0;  // local count of rounds executed (observer aid)
+};
+
+// Convenience: build the full Π⁺ process vector for an n-process system.
+std::vector<std::unique_ptr<SyncProcess>> compile_protocol(
+    int n, std::shared_ptr<const TerminatingProtocol> protocol,
+    InputSource inputs, CompilerOptions options = {});
+
+}  // namespace ftss

@@ -1,0 +1,44 @@
+// Execution shell for Π in its original, fault-tolerant-only form (Fig. 2):
+// starts from the protocol-specified initial state, runs rounds
+// 1..final_round broadcasting its full state each round, then halts.
+//
+// This is the "before" side of the compiler: it ft-solves its problem but a
+// systemic failure (corrupted round counter or state) breaks it — which the
+// tests and EXP7 demonstrate.
+#pragma once
+
+#include <memory>
+
+#include "core/terminating.h"
+#include "sim/process.h"
+
+namespace ftss {
+
+class FullInfoProcess : public SyncProcess {
+ public:
+  FullInfoProcess(ProcessId self, int n,
+                  std::shared_ptr<const TerminatingProtocol> protocol,
+                  Value input);
+
+  void begin_round(Outbox& out) override;
+  void end_round(const std::vector<Message>& delivered) override;
+
+  Value snapshot_state() const override;
+  void restore_state(const Value& state) override;
+  std::optional<Round> round_counter() const override { return c_; }
+  bool halted() const override { return halted_; }
+
+  // The decision, once halted (null before).
+  Value decision() const;
+
+ private:
+  ProcessId self_;
+  int n_;
+  std::shared_ptr<const TerminatingProtocol> protocol_;
+  Value input_;
+  Value s_;
+  Round c_ = 1;
+  bool halted_ = false;
+};
+
+}  // namespace ftss

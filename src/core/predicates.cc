@@ -1,0 +1,165 @@
+#include "core/predicates.h"
+
+#include <sstream>
+
+namespace ftss {
+
+namespace {
+// A process participates in clock checks at round r if it is correct, alive
+// and not self-halted at the start of round r.
+bool participates(const RoundRecord& rec, const std::vector<bool>& faulty,
+                  int p) {
+  return !faulty[p] && rec.alive[p] && !rec.halted[p];
+}
+}  // namespace
+
+bool clocks_agree_at(const History& h, Round r, const std::vector<bool>& faulty) {
+  const RoundRecord& rec = h.at(r);
+  std::optional<Round> common;
+  for (int p = 0; p < h.n; ++p) {
+    if (faulty[p]) continue;
+    // A correct process that crashed cannot exist (crash => faulty); a
+    // correct process that *halted* fails agreement by Assumption 1's intent
+    // (its clock no longer tracks the common round).
+    if (!rec.alive[p] || rec.halted[p]) return false;
+    if (!rec.clock[p]) return false;
+    if (!common) {
+      common = *rec.clock[p];
+    } else if (*common != *rec.clock[p]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool rate_holds_between(const History& h, Round r, const std::vector<bool>& faulty) {
+  if (r + 1 > h.length()) return false;
+  const RoundRecord& now = h.at(r);
+  const RoundRecord& next = h.at(r + 1);
+  for (int p = 0; p < h.n; ++p) {
+    if (faulty[p]) continue;
+    if (!participates(now, faulty, p) || !participates(next, faulty, p)) {
+      return false;
+    }
+    if (!now.clock[p] || !next.clock[p]) return false;
+    if (*next.clock[p] != *now.clock[p] + 1) return false;
+  }
+  return true;
+}
+
+std::vector<Round> rate_violation_rounds(const History& h, Round from, Round to,
+                                         const std::vector<bool>& faulty) {
+  std::vector<Round> out;
+  for (Round r = std::max<Round>(from, 1); r < to && r < h.length(); ++r) {
+    if (!rate_holds_between(h, r, faulty)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Round> disagreement_rounds(const History& h, Round from, Round to,
+                                       const std::vector<bool>& faulty) {
+  std::vector<Round> out;
+  for (Round r = std::max<Round>(from, 1); r <= to && r <= h.length(); ++r) {
+    if (!clocks_agree_at(h, r, faulty)) out.push_back(r);
+  }
+  return out;
+}
+
+bool uniformity_holds_at(const History& h, Round r, const std::vector<bool>& faulty) {
+  const RoundRecord& rec = h.at(r);
+  // Find the common correct clock first.
+  std::optional<Round> common;
+  for (int p = 0; p < h.n; ++p) {
+    if (!faulty[p] && rec.alive[p] && !rec.halted[p] && rec.clock[p]) {
+      common = *rec.clock[p];
+      break;
+    }
+  }
+  for (int p = 0; p < h.n; ++p) {
+    if (!faulty[p]) continue;
+    if (!rec.alive[p] || rec.halted[p]) continue;  // halted/crashed: allowed
+    if (!rec.clock[p] || !common) return false;
+    if (*rec.clock[p] != *common) return false;
+  }
+  return true;
+}
+
+std::vector<CoterieInterval> coterie_intervals(const History& h) {
+  std::vector<CoterieInterval> intervals;
+  for (Round r = 1; r <= h.length(); ++r) {
+    const auto& cot = h.at(r).coterie;
+    if (intervals.empty() || intervals.back().coterie != cot) {
+      intervals.push_back(CoterieInterval{r, r, cot});
+    } else {
+      intervals.back().end = r;
+    }
+  }
+  return intervals;
+}
+
+FtssCheckResult check_ftss(const History& h, Round stab_time,
+                           const WindowPredicate& sigma) {
+  for (const auto& iv : coterie_intervals(h)) {
+    const Round from = iv.begin + stab_time;
+    if (from > iv.end) continue;  // interval too short: nothing is required
+    const auto& faulty = h.at(iv.end).faulty_by_now;
+    if (!sigma(h, from, iv.end, faulty)) {
+      std::ostringstream os;
+      os << "sigma violated on coterie-stable window [" << from << ", "
+         << iv.end << "] (interval [" << iv.begin << ", " << iv.end
+         << "], stab_time " << stab_time << ")";
+      return FtssCheckResult{false, os.str()};
+    }
+  }
+  return FtssCheckResult{};
+}
+
+WindowPredicate round_agreement_sigma() {
+  return [](const History& h, Round from, Round to,
+            const std::vector<bool>& faulty) {
+    for (Round r = from; r <= to; ++r) {
+      if (!clocks_agree_at(h, r, faulty)) return false;
+    }
+    for (Round r = from; r < to; ++r) {
+      if (!rate_holds_between(h, r, faulty)) return false;
+    }
+    return true;
+  };
+}
+
+FtssCheckResult check_round_agreement_ftss(const History& h, Round stab_time) {
+  return check_ftss(h, stab_time, round_agreement_sigma());
+}
+
+FtssCheckResult check_round_agreement_ss(const History& h, Round stab_time) {
+  const std::vector<bool> nobody(h.n, false);
+  auto sigma = round_agreement_sigma();
+  const Round from = stab_time + 1;
+  if (from > h.length()) return FtssCheckResult{};
+  if (!sigma(h, from, h.length(), nobody)) {
+    std::ostringstream os;
+    os << "sigma violated on the " << stab_time << "-suffix [" << from << ", "
+       << h.length() << "] with F = {}";
+    return FtssCheckResult{false, os.str()};
+  }
+  return FtssCheckResult{};
+}
+
+StabilizationMeasure measure_round_agreement(const History& h) {
+  StabilizationMeasure m;
+  m.last_coterie_change = h.last_coterie_change();
+  const auto faulty = h.faulty();
+  const Round len = h.length();
+  // Scan backwards for the longest clean suffix.
+  Round stable_from = len + 1;
+  for (Round r = len; r >= 1; --r) {
+    const bool ok = clocks_agree_at(h, r, faulty) &&
+                    (r == len || rate_holds_between(h, r, faulty));
+    if (!ok) break;
+    stable_from = r;
+  }
+  if (stable_from <= len) m.stable_from = stable_from;
+  return m;
+}
+
+}  // namespace ftss

@@ -1,0 +1,124 @@
+// Σ-predicate checkers: executable forms of the paper's definitions.
+//
+//  * Assumption 1 (agreement + rate of round variables) evaluated over
+//    recorded histories;
+//  * Assumption 2 (uniformity) for protocols that restrict faulty behavior;
+//  * Definition 2.4 (ftss-solves with stabilization time r), specialized to
+//    round agreement and generic over a caller-supplied window predicate;
+//  * measurement of the empirically-achieved stabilization time relative to
+//    the last coterie change (the paper's de-stabilizing event).
+//
+// Conventions: rounds are 1-based actual rounds; "the coterie at round r" is
+// the coterie of the r-prefix (recorded at the end of round r); clocks are
+// the c_p values at the *start* of round r.  "Correct" means not in the
+// supplied faulty set (for prefix checks, faults that manifest later leave a
+// process correct, exactly as in the definitions).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/history.h"
+
+namespace ftss {
+
+// --- Assumption 1 ----------------------------------------------------------
+
+// Agreement: all correct, alive, non-halted processes hold equal round
+// variables at the start of round r.  (A halted or crashed *correct* process
+// cannot satisfy Assumption 1 at all; halting counts as a violation, which
+// is the crux of Theorem 2.)
+bool clocks_agree_at(const History& h, Round r, const std::vector<bool>& faulty);
+
+// Rate: every correct process's round variable at the start of round r+1 is
+// its round-r value plus one.  Requires r+1 <= |H|.
+bool rate_holds_between(const History& h, Round r, const std::vector<bool>& faulty);
+
+// Rounds r in [from, to-1] where some correct process's clock does NOT
+// advance by exactly one into r+1 (clock "jumps"; Theorem 1's unavoidable
+// events under the tentative definition).
+std::vector<Round> rate_violation_rounds(const History& h, Round from, Round to,
+                                         const std::vector<bool>& faulty);
+
+// Rounds r in [from, to] where the correct clocks DISAGREE at the start of
+// round r.  (Unlike the rate condition — which a bounded mod-M counter
+// cannot even express, since c^{r+1} = c^r + 1 fails at every wrap — clock
+// agreement is meaningful for bounded counters too; the bounded-counter
+// impossibility demo counts these.)
+std::vector<Round> disagreement_rounds(const History& h, Round from, Round to,
+                                       const std::vector<bool>& faulty);
+
+// --- Assumption 2 ----------------------------------------------------------
+
+// Uniformity at round r: every faulty process has halted (or crashed) by
+// round r, or agrees with the correct clocks.
+bool uniformity_holds_at(const History& h, Round r, const std::vector<bool>& faulty);
+
+// --- Coterie intervals and Definition 2.4 -----------------------------------
+
+// Maximal intervals [begin, end] of rounds whose end-of-round coterie is
+// constant.  Because the coterie is monotone, these partition 1..|H|.
+struct CoterieInterval {
+  Round begin = 0;
+  Round end = 0;
+  std::vector<bool> coterie;
+};
+std::vector<CoterieInterval> coterie_intervals(const History& h);
+
+// A window predicate receives a round range [from, to] (both within the
+// history) plus the faulty set F(prefix-to) and decides whether Σ holds
+// there.  Used to instantiate Definition 2.4 for arbitrary problems.
+using WindowPredicate = std::function<bool(const History&, Round from, Round to,
+                                           const std::vector<bool>& faulty)>;
+
+struct FtssCheckResult {
+  bool ok = true;
+  std::string violation;  // human-readable description of the first failure
+};
+
+// Definition 2.4 instantiated on a recorded history: for every maximal
+// coterie-constant interval [A, B], Σ must hold on rounds [A + stab_time, B]
+// (the first stab_time rounds of the interval are excused).
+FtssCheckResult check_ftss(const History& h, Round stab_time,
+                           const WindowPredicate& sigma);
+
+// Σ for the round-agreement problem itself: clock agreement at the start of
+// every round in the window and rate between consecutive rounds within it.
+WindowPredicate round_agreement_sigma();
+
+// check_ftss specialized to round agreement (Theorem 3's obligation).
+FtssCheckResult check_round_agreement_ftss(const History& h, Round stab_time);
+
+// Definition 2.2 (ss-solves) specialized to round agreement: Σ must hold on
+// the stab_time-suffix of the history with NO faulty processes assumed —
+// the classic self-stabilization contract, meaningful only for executions
+// free of process failures.  Together with Definition 2.1 (ft-solves,
+// checked by running Π under process failures from clean states) these are
+// the two one-failure-type definitions the paper unifies into Def 2.4.
+FtssCheckResult check_round_agreement_ss(const History& h, Round stab_time);
+
+// --- Stabilization measurement ----------------------------------------------
+
+struct StabilizationMeasure {
+  // Round of the last de-stabilizing event (coterie change), 0 if none.
+  Round last_coterie_change = 0;
+  // First round such that agreement holds at the start of every round from
+  // here to the end of the history, and rate holds between all consecutive
+  // such rounds.  nullopt if the history never stabilizes.
+  std::optional<Round> stable_from;
+  // Measured stabilization time: rounds after the last coterie change (or
+  // after round 0 for an unchanged coterie) before Σ holds continuously.
+  std::optional<Round> time() const {
+    if (!stable_from) return std::nullopt;
+    const Round base = std::max<Round>(last_coterie_change, 1);
+    return std::max<Round>(*stable_from - base, 0);
+  }
+};
+
+// Measures round-agreement stabilization over the whole recorded history,
+// with faulty = F(H) of the full history.
+StabilizationMeasure measure_round_agreement(const History& h);
+
+}  // namespace ftss

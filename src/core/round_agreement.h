@@ -1,0 +1,62 @@
+// The round-agreement protocol of Figure 1 (Theorem 3).
+//
+// Every round, each process broadcasts its round variable and adopts
+// max(received) + 1.  This ftss-solves round agreement with stabilization
+// time 1: within one round of the coterie stabilizing, all correct processes
+// hold equal round variables and increment them in lock-step — no matter how
+// the initial round variables were corrupted and despite up to f
+// general-omission faulty processes.
+#pragma once
+
+#include "sim/process.h"
+
+namespace ftss {
+
+class RoundAgreementProcess : public SyncProcess {
+ public:
+  // `initial_round` is the protocol-specified initial value (the paper uses
+  // 1); a systemic failure overrides it via restore_state.
+  explicit RoundAgreementProcess(ProcessId self, Round initial_round = 1)
+      : self_(self), c_(initial_round) {}
+
+  void begin_round(Outbox& out) override;
+  void end_round(const std::vector<Message>& delivered) override;
+
+  Value snapshot_state() const override;
+  void restore_state(const Value& state) override;
+  std::optional<Round> round_counter() const override { return c_; }
+
+  ProcessId id() const { return self_; }
+
+ private:
+  ProcessId self_;
+  Round c_;
+};
+
+// A *uniform* variant used to demonstrate Theorem 2: it follows the same
+// max+1 rule but additionally "self-checks": if a process observes that its
+// round variable disagrees with one it received, it assumes it must be
+// faulty and halts "before doing any harm" (Assumption 2's technique).
+// Theorem 2 shows this technique is fatal under systemic failures: a
+// *correct* process with a corrupted round variable halts itself, after
+// which it can never satisfy Assumption 1's agreement/rate conditions.
+class UniformRoundAgreementProcess : public SyncProcess {
+ public:
+  explicit UniformRoundAgreementProcess(ProcessId self, Round initial_round = 1)
+      : self_(self), c_(initial_round) {}
+
+  void begin_round(Outbox& out) override;
+  void end_round(const std::vector<Message>& delivered) override;
+
+  Value snapshot_state() const override;
+  void restore_state(const Value& state) override;
+  std::optional<Round> round_counter() const override { return c_; }
+  bool halted() const override { return halted_; }
+
+ private:
+  ProcessId self_;
+  Round c_;
+  bool halted_ = false;
+};
+
+}  // namespace ftss

@@ -1,0 +1,63 @@
+// Canonical terminating, round-based, full-information protocols Π (Fig. 2).
+//
+// A TerminatingProtocol describes one iteration of a protocol meant to be
+// repeated forever (e.g., one Consensus instance inside Repeated Consensus).
+// Implementations supply a pure transition function; the execution shells —
+// FullInfoProcess (ft-only, Fig. 2) and CompiledProcess (ftss, Fig. 3) —
+// drive it.
+//
+// IMPORTANT: after a systemic failure the `state` handed to transition() can
+// be arbitrary garbage (wrong types, missing fields).  Implementations must
+// use the tolerant Value accessors and never assume shape.  The same holds
+// for received message payloads, which are peer states.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace ftss {
+
+class TerminatingProtocol {
+ public:
+  virtual ~TerminatingProtocol() = default;
+
+  // A human-readable name for logs and benchmarks.
+  virtual std::string name() const = 0;
+
+  // The iteration runs rounds 1..final_round (the paper's final_round).
+  virtual int final_round() const = 0;
+
+  // Fresh state at the start of an iteration, given this process's input.
+  virtual Value initial_state(ProcessId p, int n, const Value& input) const = 0;
+
+  // Full-information transition: next state from own state and the received
+  // peer states, executing protocol round k (1..final_round).
+  // `received` holds one message per non-suspected sender, whose payload is
+  // that sender's full state at the start of the round.
+  virtual Value transition(ProcessId p, int n, const Value& state,
+                           const std::vector<Message>& received,
+                           int k) const = 0;
+
+  // Extract the decision from a final state (after the round-final_round
+  // transition).  Null if the state never reached a decision.
+  virtual Value decision(const Value& state) const = 0;
+};
+
+// Supplies each process's input for iteration `iteration` (0-based,
+// identified by the agreed round counter: iteration = floor(c / final_round)).
+// Must be deterministic: in the repeated-protocol model every process can
+// derive its own input locally at each iteration boundary.
+using InputSource = std::function<Value(ProcessId p, std::int64_t iteration)>;
+
+// A decision produced by one process at the end of one iteration.
+struct DecisionRecord {
+  ProcessId process = -1;      // which process decided
+  std::int64_t iteration = 0;  // floor(c / final_round) at iteration end
+  Round at_actual_round = 0;   // external observer's round when decided
+  Value value;
+  Value input_used;            // the input this process fed into the iteration
+};
+
+}  // namespace ftss

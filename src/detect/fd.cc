@@ -1,0 +1,15 @@
+#include "detect/fd.h"
+
+namespace ftss {
+
+WeakDetect weak_view(const FailureDetector* local, ProcessId self, int n) {
+  return [local, self, n](ProcessId s) {
+    return weak_witness(s, n) == self && local->suspects(s);
+  };
+}
+
+WeakDetect full_view(const FailureDetector* local) {
+  return [local](ProcessId s) { return local->suspects(s); };
+}
+
+}  // namespace ftss

@@ -1,0 +1,82 @@
+#include "detect/gossip_fd.h"
+
+#include "util/numeric.h"
+
+namespace ftss {
+
+GossipStrongFd::GossipStrongFd(ProcessId self, int n, WeakDetect detect)
+    : self_(self),
+      n_(n),
+      detect_(std::move(detect)),
+      num_(n, 0),
+      alive_(n, true) {}
+
+void GossipStrongFd::on_tick(ModuleContext& ctx) {
+  // when (p = s): num[s]++; state[s] := alive.
+  ++num_[self_];
+  alive_[self_] = true;
+  // when detect(s): num[s]++; state[s] := dead.
+  for (ProcessId s = 0; s < n_; ++s) {
+    if (s != self_ && detect_ && detect_(s)) {
+      ++num_[s];
+      alive_[s] = false;
+    }
+  }
+  // when true: send (s, num[s], state[s]) to all — batched into one message.
+  Value::Array entries;
+  entries.reserve(n_);
+  for (ProcessId s = 0; s < n_; ++s) {
+    entries.push_back(
+        Value::array({Value(static_cast<std::int64_t>(s)), Value(num_[s]),
+                      Value(alive_[s])}));
+  }
+  Value body;
+  body["e"] = Value(std::move(entries));
+  ctx.broadcast(std::move(body));
+}
+
+void GossipStrongFd::on_message(ModuleContext&, ProcessId, const Value& body) {
+  const Value& entries = body.at("e");
+  if (!entries.is_array()) return;
+  for (const auto& entry : entries.as_array()) {
+    if (!entry.is_array() || entry.size() != 3) continue;
+    const auto& e = entry.as_array();
+    if (!e[0].is_int() || !e[1].is_int() || !e[2].is_bool()) continue;
+    const std::int64_t s = e[0].as_int();
+    if (s < 0 || s >= n_) continue;
+    // when deliver (s, n, st): if (n > num[s]) adopt.
+    const std::int64_t n = clamp_round_tag(e[1].as_int());
+    if (n > num_[s]) {
+      num_[s] = n;
+      alive_[s] = e[2].as_bool();
+    }
+  }
+}
+
+Value GossipStrongFd::snapshot() const {
+  Value::Array nums, alive;
+  for (ProcessId s = 0; s < n_; ++s) {
+    nums.push_back(Value(num_[s]));
+    alive.push_back(Value(alive_[s]));
+  }
+  Value v;
+  v["num"] = Value(std::move(nums));
+  v["alive"] = Value(std::move(alive));
+  return v;
+}
+
+void GossipStrongFd::restore(const Value& state) {
+  const Value& nums = state.at("num");
+  const Value& alive = state.at("alive");
+  for (ProcessId s = 0; s < n_; ++s) {
+    const auto idx = static_cast<std::size_t>(s);
+    num_[s] = clamp_restored_round(
+        (nums.is_array() && idx < nums.size()) ? nums.as_array()[idx].int_or(0)
+                                               : 0);
+    alive_[s] = (alive.is_array() && idx < alive.size())
+                    ? alive.as_array()[idx].bool_or(true)
+                    : true;
+  }
+}
+
+}  // namespace ftss

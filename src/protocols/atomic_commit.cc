@@ -1,0 +1,81 @@
+#include "protocols/atomic_commit.h"
+
+#include <string>
+
+namespace ftss {
+
+Value AtomicCommit::initial_state(ProcessId p, int, const Value& input) const {
+  Value votes;
+  votes[std::to_string(p)] = Value(input.bool_or(false));
+  Value s;
+  s["votes"] = std::move(votes);
+  s["decision"] = Value();
+  return s;
+}
+
+Value AtomicCommit::transition(ProcessId, int n, const Value& state,
+                               const std::vector<Message>& received,
+                               int k) const {
+  Value::Map votes;
+  auto absorb = [&votes, n](const Value& s) {
+    const Value& vs = s.at("votes");
+    if (!vs.is_map()) return;
+    for (const auto& [key, vote] : vs.as_map()) {
+      char* end = nullptr;
+      const long id = std::strtol(key.c_str(), &end, 10);
+      if (end == key.c_str() || *end != '\0' || id < 0 || id >= n) continue;
+      // Any non-bool (corrupted) vote, and any conflict, resolves to "no":
+      // corruption must never be able to force a commit.
+      const bool v = vote.bool_or(false);
+      auto [it, inserted] = votes.try_emplace(key, Value(v));
+      if (!inserted && !v) it->second = Value(false);
+    }
+  };
+  absorb(state);
+  for (const auto& m : received) absorb(m.payload);
+
+  Value next;
+  next["votes"] = Value(votes);
+  if (k >= final_round()) {
+    bool all_yes = static_cast<int>(votes.size()) == n;
+    for (const auto& [key, vote] : votes) {
+      all_yes &= vote.bool_or(false);
+    }
+    next["decision"] = Value(all_yes ? "commit" : "abort");
+  } else {
+    next["decision"] = Value();
+  }
+  return next;
+}
+
+Value AtomicCommit::decision(const Value& state) const {
+  return state.at("decision");
+}
+
+ValidityPredicate commit_validity(int n) {
+  return [n](const Value& decision,
+             const std::vector<const DecisionRecord*>& records) {
+    const std::string verdict = decision.string_or("");
+    if (verdict == "commit") {
+      // Commit-validity: every correct voter said yes.  (The protocol itself
+      // required ALL n votes present-and-yes to commit; a voter that crashed
+      // after its yes-vote spread leaves no correct record but was a yes.)
+      for (const auto* rec : records) {
+        if (!rec->input_used.bool_or(false)) return false;
+      }
+      return !records.empty();
+    }
+    if (verdict == "abort") {
+      // Abort demands an excuse: a no-vote among the correct inputs, or a
+      // process whose vote could not be collected (fewer deciders than n).
+      if (static_cast<int>(records.size()) < n) return true;
+      for (const auto* rec : records) {
+        if (!rec->input_used.bool_or(false)) return true;
+      }
+      return false;
+    }
+    return false;
+  };
+}
+
+}  // namespace ftss

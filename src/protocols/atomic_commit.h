@@ -1,0 +1,44 @@
+// Non-blocking atomic commitment as a terminating Π: every process votes
+// yes/no; after f+1 flooding rounds all correct processes hold the same vote
+// map and decide COMMIT iff all n votes are present and yes — a missing vote
+// (its owner crashed before it spread) or any no-vote yields ABORT.
+//
+// Properties (crash model, ≤ f failures): agreement (identical vote maps);
+// commit-validity (commit ⇒ every process voted yes); abort-validity
+// (abort ⇒ some no-vote or some failure).  Compiled through Figure 3 this is
+// a self-stabilizing transaction-certification service: corrupted vote maps
+// poison at most the current iteration and are reset at the boundary.
+#pragma once
+
+#include "core/terminating.h"
+#include "protocols/repeated.h"
+
+namespace ftss {
+
+class AtomicCommit : public TerminatingProtocol {
+ public:
+  explicit AtomicCommit(int f) : f_(f) {}
+
+  std::string name() const override { return "atomic-commit"; }
+  int final_round() const override { return f_ + 1; }
+
+  // Input: the process's vote (bool); anything non-bool counts as "no"
+  // (a corrupted vote must not be able to force a commit).
+  Value initial_state(ProcessId p, int n, const Value& input) const override;
+  Value transition(ProcessId p, int n, const Value& state,
+                   const std::vector<Message>& received, int k) const override;
+  // Decision: "commit" or "abort" (string), null before the final round.
+  Value decision(const Value& state) const override;
+
+ private:
+  int f_;
+};
+
+// Validity for repeated atomic commitment: "commit" requires every correct
+// process's input to be a yes-vote (a voter that crashed after spreading its
+// yes leaves no record but cannot invalidate the commit); "abort" requires a
+// no-vote among the correct inputs or a faulty process (fewer than n
+// deciders) whose vote may have been missing.  `n` is the system size.
+ValidityPredicate commit_validity(int n);
+
+}  // namespace ftss

@@ -1,0 +1,39 @@
+#include "protocols/floodset.h"
+
+#include <set>
+
+namespace ftss {
+
+Value FloodSetConsensus::initial_state(ProcessId, int, const Value& input) const {
+  Value s;
+  s["vals"] = Value(Value::Array{input});
+  s["decision"] = Value();
+  return s;
+}
+
+Value FloodSetConsensus::transition(ProcessId, int, const Value& state,
+                                    const std::vector<Message>& received,
+                                    int k) const {
+  // Union of every value set we can see.  All reads are shape-tolerant: the
+  // state (or a peer's relayed state) may be systemic-failure garbage.
+  std::set<Value> vals;
+  auto absorb = [&vals](const Value& s) {
+    const Value& vs = s.at("vals");
+    if (!vs.is_array()) return;
+    for (const auto& v : vs.as_array()) vals.insert(v);
+  };
+  absorb(state);
+  for (const auto& m : received) absorb(m.payload);
+
+  Value next;
+  next["vals"] = Value(Value::Array(vals.begin(), vals.end()));
+  next["decision"] =
+      (k >= final_round() && !vals.empty()) ? *vals.begin() : Value();
+  return next;
+}
+
+Value FloodSetConsensus::decision(const Value& state) const {
+  return state.at("decision");
+}
+
+}  // namespace ftss

@@ -1,0 +1,34 @@
+// FloodSet consensus: the classic (f+1)-round crash-tolerant consensus used
+// as the paper's running example of a terminating protocol Π ("a protocol
+// for a Single Consensus, which is used as the basis of a protocol for
+// Repeated Consensus").
+//
+// Each process floods the set of values it has seen; after f+1 rounds every
+// pair of correct processes has identical sets (some round among the f+1 is
+// crash-free), and all decide the minimum.  ft-solves Consensus for up to f
+// *crash* failures; compiled through Figure 3 it ftss-solves Repeated
+// Consensus (EXP2).
+#pragma once
+
+#include "core/terminating.h"
+
+namespace ftss {
+
+class FloodSetConsensus : public TerminatingProtocol {
+ public:
+  // Tolerates up to f crash failures; runs f+1 rounds.
+  explicit FloodSetConsensus(int f) : f_(f) {}
+
+  std::string name() const override { return "floodset-consensus"; }
+  int final_round() const override { return f_ + 1; }
+
+  Value initial_state(ProcessId p, int n, const Value& input) const override;
+  Value transition(ProcessId p, int n, const Value& state,
+                   const std::vector<Message>& received, int k) const override;
+  Value decision(const Value& state) const override;
+
+ private:
+  int f_;
+};
+
+}  // namespace ftss

@@ -1,0 +1,47 @@
+#include "protocols/interactive_consistency.h"
+
+#include <string>
+
+namespace ftss {
+
+Value InteractiveConsistency::initial_state(ProcessId p, int,
+                                            const Value& input) const {
+  Value s;
+  Value vec;
+  vec[std::to_string(p)] = input;
+  s["vec"] = std::move(vec);
+  s["decision"] = Value();
+  return s;
+}
+
+Value InteractiveConsistency::transition(ProcessId, int n, const Value& state,
+                                         const std::vector<Message>& received,
+                                         int k) const {
+  Value::Map merged;
+  auto absorb = [&merged, n](const Value& s) {
+    const Value& vec = s.at("vec");
+    if (!vec.is_map()) return;
+    for (const auto& [key, val] : vec.as_map()) {
+      // Only well-formed origin slots survive (corrupted states may carry
+      // arbitrary keys); conflicts resolve to the smaller value.
+      char* end = nullptr;
+      const long id = std::strtol(key.c_str(), &end, 10);
+      if (end == key.c_str() || *end != '\0' || id < 0 || id >= n) continue;
+      auto [it, inserted] = merged.try_emplace(key, val);
+      if (!inserted && val < it->second) it->second = val;
+    }
+  };
+  absorb(state);
+  for (const auto& m : received) absorb(m.payload);
+
+  Value next;
+  next["vec"] = Value(merged);
+  next["decision"] = (k >= final_round()) ? Value(std::move(merged)) : Value();
+  return next;
+}
+
+Value InteractiveConsistency::decision(const Value& state) const {
+  return state.at("decision");
+}
+
+}  // namespace ftss

@@ -1,0 +1,32 @@
+// Interactive consistency (vector consensus) as a second terminating Π:
+// every correct process must end with the *same vector* of per-process
+// values, containing q's input in slot q for every correct q.
+//
+// Implementation: flood (origin, value) pairs for f+1 rounds; conflicting
+// claims for the same origin (possible only for faulty origins) resolve to
+// the smallest value so all correct processes resolve identically once their
+// pair sets coincide.  Crash-tolerant for up to f failures.
+#pragma once
+
+#include "core/terminating.h"
+
+namespace ftss {
+
+class InteractiveConsistency : public TerminatingProtocol {
+ public:
+  explicit InteractiveConsistency(int f) : f_(f) {}
+
+  std::string name() const override { return "interactive-consistency"; }
+  int final_round() const override { return f_ + 1; }
+
+  Value initial_state(ProcessId p, int n, const Value& input) const override;
+  Value transition(ProcessId p, int n, const Value& state,
+                   const std::vector<Message>& received, int k) const override;
+  // Decision: a map from process id (decimal string) to its reported value.
+  Value decision(const Value& state) const override;
+
+ private:
+  int f_;
+};
+
+}  // namespace ftss

@@ -1,0 +1,56 @@
+#include "protocols/leader_election.h"
+
+namespace ftss {
+
+Value LeaderElection::initial_state(ProcessId p, int, const Value&) const {
+  Value s;
+  s["ids"] = Value(Value::Array{Value(static_cast<std::int64_t>(p))});
+  s["decision"] = Value();
+  return s;
+}
+
+Value LeaderElection::transition(ProcessId, int n, const Value& state,
+                                 const std::vector<Message>& received,
+                                 int k) const {
+  std::set<std::int64_t> ids;
+  auto absorb = [&ids, n](const Value& s) {
+    const Value& list = s.at("ids");
+    if (!list.is_array()) return;
+    for (const auto& e : list.as_array()) {
+      // Only real process ids survive (corrupted states carry garbage).
+      if (e.is_int() && e.as_int() >= 0 && e.as_int() < n) {
+        ids.insert(e.as_int());
+      }
+    }
+  };
+  absorb(state);
+  for (const auto& m : received) absorb(m.payload);
+
+  Value next;
+  Value::Array out;
+  out.reserve(ids.size());
+  for (std::int64_t id : ids) out.push_back(Value(id));
+  next["ids"] = Value(std::move(out));
+  next["decision"] =
+      (k >= final_round() && !ids.empty()) ? Value(*ids.begin()) : Value();
+  return next;
+}
+
+Value LeaderElection::decision(const Value& state) const {
+  return state.at("decision");
+}
+
+ValidityPredicate leader_validity() {
+  return [](const Value& decision,
+            const std::vector<const DecisionRecord*>& records) {
+    if (!decision.is_int() || decision.as_int() < 0) return false;
+    // No correct participant with a smaller id may exist: every correct
+    // process's own id is always in its electorate set.
+    for (const auto* rec : records) {
+      if (rec->process < decision.as_int()) return false;
+    }
+    return true;
+  };
+}
+
+}  // namespace ftss

@@ -1,0 +1,43 @@
+// Leader election as a terminating Π: after f+1 flooding rounds every
+// correct process knows the same set of participants and elects its minimum
+// id.  Crash-tolerant for up to f failures: a process that crashes before
+// its id spreads is consistently excluded, one that crashes after is
+// consistently included (either way all correct processes elect the same
+// leader — the usual FloodSet argument).
+//
+// Compiled through Figure 3 this becomes a self-stabilizing repeated
+// leader-election service: each iteration re-elects, so a crashed leader is
+// replaced within at most two iterations, and arbitrary corruption of the
+// electorate state heals at the next iteration reset.
+#pragma once
+
+#include "core/terminating.h"
+#include "protocols/repeated.h"
+
+namespace ftss {
+
+class LeaderElection : public TerminatingProtocol {
+ public:
+  explicit LeaderElection(int f) : f_(f) {}
+
+  std::string name() const override { return "leader-election"; }
+  int final_round() const override { return f_ + 1; }
+
+  // The per-iteration input is ignored (every process stands for election);
+  // conventionally pass Value().
+  Value initial_state(ProcessId p, int n, const Value& input) const override;
+  Value transition(ProcessId p, int n, const Value& state,
+                   const std::vector<Message>& received, int k) const override;
+  // Decision: the elected leader's id (int), or null if nobody was seen.
+  Value decision(const Value& state) const override;
+
+ private:
+  int f_;
+};
+
+// Validity for repeated leader election: the leader is a real process id,
+// and no SMALLER id belongs to a process that demonstrably participated
+// (i.e., decided) this iteration.
+ValidityPredicate leader_validity();
+
+}  // namespace ftss

@@ -1,0 +1,42 @@
+#include "protocols/reliable_broadcast.h"
+
+namespace ftss {
+
+Value ReliableBroadcastProtocol::make_input(ProcessId src, Value val) {
+  Value in;
+  in["src"] = Value(static_cast<std::int64_t>(src));
+  in["val"] = std::move(val);
+  return in;
+}
+
+Value ReliableBroadcastProtocol::initial_state(ProcessId p, int,
+                                               const Value& input) const {
+  const std::int64_t src = input.at("src").int_or(-1);
+  Value s;
+  s["val"] = (src == p) ? input.at("val") : Value();
+  s["decision"] = Value();
+  return s;
+}
+
+Value ReliableBroadcastProtocol::transition(ProcessId, int, const Value& state,
+                                            const std::vector<Message>& received,
+                                            int k) const {
+  // Adopt the smallest non-null value seen anywhere; with a correct source
+  // there is only ever one.  Shape-tolerant throughout.
+  Value val = state.at("val");
+  for (const auto& m : received) {
+    const Value& peer = m.payload.at("val");
+    if (peer.is_null()) continue;
+    if (val.is_null() || peer < val) val = peer;
+  }
+  Value next;
+  next["val"] = val;
+  next["decision"] = (k >= final_round()) ? val : Value();
+  return next;
+}
+
+Value ReliableBroadcastProtocol::decision(const Value& state) const {
+  return state.at("decision");
+}
+
+}  // namespace ftss

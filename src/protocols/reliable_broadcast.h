@@ -1,0 +1,37 @@
+// Reliable broadcast as a third terminating Π: a designated source
+// disseminates its input; after f+1 flooding rounds either every correct
+// process delivers the same value or (source faulty, value never escaped)
+// every correct process delivers null.  Crash-tolerant for up to f failures.
+//
+// The per-iteration input (from the InputSource) is a map
+// {"src": <process id>, "val": <value>}: every process must be handed the
+// same "src" for an iteration (the InputSource is deterministic, so e.g.
+// src = iteration mod n gives a rotating sequencer), and "val" is what the
+// source proposes.  Non-source processes ignore "val".
+#pragma once
+
+#include "core/terminating.h"
+
+namespace ftss {
+
+class ReliableBroadcastProtocol : public TerminatingProtocol {
+ public:
+  explicit ReliableBroadcastProtocol(int f) : f_(f) {}
+
+  std::string name() const override { return "reliable-broadcast"; }
+  int final_round() const override { return f_ + 1; }
+
+  Value initial_state(ProcessId p, int n, const Value& input) const override;
+  Value transition(ProcessId p, int n, const Value& state,
+                   const std::vector<Message>& received, int k) const override;
+  // Decision: the delivered value, or null if nothing was delivered.
+  Value decision(const Value& state) const override;
+
+  // Helper for building InputSources: the input map for one iteration.
+  static Value make_input(ProcessId src, Value val);
+
+ private:
+  int f_;
+};
+
+}  // namespace ftss

@@ -1,0 +1,130 @@
+#include "protocols/repeated.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ftss {
+
+std::optional<Round> RepeatedAnalysis::clean_from(bool require_validity) const {
+  std::optional<Round> from;
+  for (auto it = iterations.rbegin(); it != iterations.rend(); ++it) {
+    if (!clean(*it, require_validity)) break;
+    from = it->first_decided_round;
+  }
+  return from;
+}
+
+int RepeatedAnalysis::clean_count(Round from_round, Round to_round,
+                                  bool require_validity) const {
+  int count = 0;
+  for (const auto& it : iterations) {
+    if (it.first_decided_round >= from_round &&
+        it.last_decided_round <= to_round && clean(it, require_validity)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+ValidityPredicate consensus_validity() {
+  return [](const Value& decision,
+            const std::vector<const DecisionRecord*>& records) {
+    for (const auto* rec : records) {
+      if (decision == rec->input_used) return true;
+    }
+    return false;
+  };
+}
+
+ValidityPredicate consensus_validity_any(InputSource inputs, int n) {
+  return [inputs = std::move(inputs), n](
+             const Value& decision,
+             const std::vector<const DecisionRecord*>& records) {
+    if (records.empty()) return false;
+    const std::int64_t iteration = records.front()->iteration;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (decision == inputs(p, iteration)) return true;
+    }
+    return false;
+  };
+}
+
+ValidityPredicate broadcast_validity() {
+  return [](const Value& decision,
+            const std::vector<const DecisionRecord*>& records) {
+    if (records.empty()) return false;
+    // Every process holds the same {"src","val"} input for the iteration.
+    const Value& proposal = records.front()->input_used.at("val");
+    for (const auto* rec : records) {
+      // A CORRECT source must get its proposal delivered.
+      if (rec->input_used.at("src").int_or(-2) == rec->process) {
+        return decision == proposal;
+      }
+    }
+    // Source not among the correct processes (it may have crashed before,
+    // during, or after the iteration): delivering nothing or its actual
+    // proposal are both valid; anything else was fabricated.
+    return decision.is_null() || decision == proposal;
+  };
+}
+
+ValidityPredicate interactive_consistency_validity() {
+  return [](const Value& decision,
+            const std::vector<const DecisionRecord*>& records) {
+    if (!decision.is_map()) return false;
+    for (const auto* rec : records) {
+      // Every correct process's own slot must hold its own input.
+      if (decision.at(std::to_string(rec->process)) != rec->input_used) {
+        return false;
+      }
+    }
+    return true;
+  };
+}
+
+RepeatedAnalysis analyze_repeated(
+    const std::vector<const CompiledProcess*>& procs,
+    const std::vector<bool>& faulty, const ValidityPredicate& validity) {
+  const int n = static_cast<int>(procs.size());
+  int correct_count = 0;
+
+  std::map<std::int64_t, std::vector<const DecisionRecord*>> by_iteration;
+  for (int p = 0; p < n; ++p) {
+    if (faulty[p] || procs[p] == nullptr) continue;
+    ++correct_count;
+    for (const auto& rec : procs[p]->decisions()) {
+      by_iteration[rec.iteration].push_back(&rec);
+    }
+  }
+
+  RepeatedAnalysis out;
+  for (const auto& [iteration, records] : by_iteration) {
+    IterationOutcome oc;
+    oc.iteration = iteration;
+    oc.complete = static_cast<int>(records.size()) == correct_count;
+    oc.first_decided_round = records.front()->at_actual_round;
+    oc.last_decided_round = oc.first_decided_round;
+    oc.synchronous = true;
+    oc.agreement = true;
+    oc.decision = records.front()->value;
+    for (const auto* rec : records) {
+      oc.first_decided_round =
+          std::min(oc.first_decided_round, rec->at_actual_round);
+      oc.last_decided_round =
+          std::max(oc.last_decided_round, rec->at_actual_round);
+      if (rec->at_actual_round != records.front()->at_actual_round) {
+        oc.synchronous = false;
+      }
+      if (rec->value != oc.decision) oc.agreement = false;
+    }
+    oc.validity = validity && validity(oc.decision, records);
+    out.iterations.push_back(std::move(oc));
+  }
+  std::sort(out.iterations.begin(), out.iterations.end(),
+            [](const IterationOutcome& a, const IterationOutcome& b) {
+              return a.first_decided_round < b.first_decided_round;
+            });
+  return out;
+}
+
+}  // namespace ftss

@@ -1,0 +1,98 @@
+// Σ⁺ analysis for compiled (Figure 3) repeated protocols.
+//
+// Π⁺ repeatedly solves Σ; this checker groups the DecisionRecords of the
+// correct processes by iteration and evaluates, per iteration:
+//   * completion  — every correct process produced a decision;
+//   * synchrony   — all correct decisions happened at the same actual round
+//                   (they must, once round agreement has stabilized);
+//   * agreement   — all correct decisions are equal;
+//   * validity    — problem-specific, pluggable (defaults to the consensus
+//                   rule: the decision is some correct process's input).
+// plus overall stabilization measurement: the earliest actual round S such
+// that every iteration decided at or after S is clean, reported relative to
+// the last coterie change.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/compiler.h"
+#include "sim/history.h"
+
+namespace ftss {
+
+struct IterationOutcome {
+  std::int64_t iteration = 0;
+  // Actual rounds at which correct processes recorded this iteration's
+  // decision (min/max across processes).
+  Round first_decided_round = 0;
+  Round last_decided_round = 0;
+  bool complete = false;     // every correct process decided
+  bool synchronous = false;  // all at the same actual round
+  bool agreement = false;    // all equal
+  bool validity = false;     // per the supplied validity rule
+  Value decision;            // the (first) decided value
+};
+
+struct RepeatedAnalysis {
+  std::vector<IterationOutcome> iterations;  // sorted by first_decided_round
+
+  static bool clean(const IterationOutcome& it, bool require_validity) {
+    return it.complete && it.synchronous && it.agreement &&
+           (!require_validity || it.validity);
+  }
+
+  // Earliest round S such that every iteration with first_decided_round >= S
+  // is clean; nullopt if even the last iteration is dirty.
+  std::optional<Round> clean_from(bool require_validity) const;
+
+  // Number of clean iterations decided entirely within [from_round, to_round].
+  int clean_count(Round from_round, Round to_round, bool require_validity) const;
+};
+
+// Decides whether `decision` is valid given the correct processes' decision
+// records (each carries the input that process used for the iteration).
+using ValidityPredicate = std::function<bool(
+    const Value& decision, const std::vector<const DecisionRecord*>& records)>;
+
+// Consensus validity, strict form: the decision equals some *correct*
+// process's input.  Stricter than the textbook rule; appropriate when no
+// process failures are injected.
+ValidityPredicate consensus_validity();
+
+// Consensus validity, standard form: the decision equals some process's
+// input for the iteration — including inputs of processes that later became
+// faulty (a value proposed before a crash is a legitimate decision).  Needs
+// the InputSource and n because faulty processes leave no decision records.
+ValidityPredicate consensus_validity_any(InputSource inputs, int n);
+
+// Broadcast validity for {"src","val"}-shaped inputs: if the iteration's
+// source is correct the decision must be its proposal; otherwise delivering
+// nothing (null) is valid.
+ValidityPredicate broadcast_validity();
+
+// Interactive-consistency validity: for every correct process p, slot
+// to_string(p) of the decided vector equals p's own input.
+ValidityPredicate interactive_consistency_validity();
+
+// `procs[p]` must be the CompiledProcess view of process p (null entries are
+// skipped); `faulty` is F(H) of the run.
+RepeatedAnalysis analyze_repeated(const std::vector<const CompiledProcess*>& procs,
+                                  const std::vector<bool>& faulty,
+                                  const ValidityPredicate& validity =
+                                      consensus_validity());
+
+// Convenience: extract the CompiledProcess views from a simulator-owned
+// process vector.
+template <typename Simulator>
+std::vector<const CompiledProcess*> compiled_views(const Simulator& sim) {
+  std::vector<const CompiledProcess*> views;
+  for (int p = 0; p < sim.process_count(); ++p) {
+    views.push_back(dynamic_cast<const CompiledProcess*>(&sim.process(p)));
+  }
+  return views;
+}
+
+}  // namespace ftss

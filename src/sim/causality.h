@@ -1,0 +1,63 @@
+// Lamport happened-before tracking and coterie computation (Definition 2.3).
+//
+// For each process q we maintain influence[q] — the set of processes p such
+// that some event of p happened-before an event of q in the history so far
+// (p ->_H q).  In the lock-step synchronous model this closure has a simple
+// incremental form: when a message sent by s at the start of round r is
+// delivered to q at the end of round r, q inherits s's start-of-round
+// influence set.  A process always influences itself (its first event
+// precedes its later events).
+//
+// The coterie of a prefix is then { p : for all correct q, p in influence[q] }.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.h"
+
+namespace ftss {
+
+class CausalityTracker {
+ public:
+  explicit CausalityTracker(int n);
+
+  int process_count() const { return n_; }
+
+  // Call at the start of each round, before reporting any deliveries: fixes
+  // the send-time influence sets for this round's messages.
+  void begin_round();
+
+  // Record that a message sent by `sender` this round was delivered to
+  // `dest` (including self-deliveries; they are harmless no-ops for the
+  // closure).
+  void deliver(ProcessId sender, ProcessId dest);
+
+  // The sender-side influence snapshot for messages sent this round; kept by
+  // the simulator for messages whose delivery is delayed past the round.
+  std::vector<bool> send_snapshot(ProcessId sender) const {
+    return influence_at_send_[sender];
+  }
+
+  // Delivery of a message whose send-time snapshot was captured earlier.
+  void deliver_snapshot(const std::vector<bool>& sender_influence,
+                        ProcessId dest);
+
+  // Does p ->_H q hold (reflexively true for p == q)?
+  bool influences(ProcessId p, ProcessId q) const {
+    return influence_[q][p];
+  }
+
+  // Coterie of the current prefix, given the prefix's correct set
+  // (correct[q] == true iff q has not manifested a fault).  Crashed/faulty
+  // processes can still be coterie *members*; they are just not required to
+  // be reached.
+  std::vector<bool> coterie(const std::vector<bool>& correct) const;
+
+ private:
+  int n_;
+  // influence_[q][p] == true iff p ->_H q.
+  std::vector<std::vector<bool>> influence_;
+  std::vector<std::vector<bool>> influence_at_send_;
+};
+
+}  // namespace ftss

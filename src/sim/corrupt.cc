@@ -1,0 +1,65 @@
+#include "sim/corrupt.h"
+
+namespace ftss {
+
+Value random_value(Rng& rng, std::int64_t magnitude, int max_depth) {
+  const int kind = static_cast<int>(rng.uniform(0, max_depth > 0 ? 5 : 3));
+  switch (kind) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(rng.chance(0.5));
+    case 2:
+      return Value(rng.uniform(-magnitude, magnitude));
+    case 3: {
+      std::string s;
+      const int len = static_cast<int>(rng.uniform(0, 6));
+      for (int i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.uniform(0, 25)));
+      }
+      return Value(std::move(s));
+    }
+    case 4: {
+      Value::Array a;
+      const int len = static_cast<int>(rng.uniform(0, 4));
+      for (int i = 0; i < len; ++i) {
+        a.push_back(random_value(rng, magnitude, max_depth - 1));
+      }
+      return Value(std::move(a));
+    }
+    default: {
+      Value::Map m;
+      const int len = static_cast<int>(rng.uniform(0, 4));
+      for (int i = 0; i < len; ++i) {
+        std::string key(1, static_cast<char>('a' + rng.uniform(0, 25)));
+        m[key] = random_value(rng, magnitude, max_depth - 1);
+      }
+      return Value(std::move(m));
+    }
+  }
+}
+
+Value mutate_value(const Value& original, Rng& rng, double p_leaf,
+                   std::int64_t magnitude) {
+  if (original.is_array()) {
+    Value::Array a;
+    a.reserve(original.as_array().size());
+    for (const auto& e : original.as_array()) {
+      a.push_back(mutate_value(e, rng, p_leaf, magnitude));
+    }
+    return Value(std::move(a));
+  }
+  if (original.is_map()) {
+    Value::Map m;
+    for (const auto& [k, e] : original.as_map()) {
+      m[k] = mutate_value(e, rng, p_leaf, magnitude);
+    }
+    return Value(std::move(m));
+  }
+  if (rng.chance(p_leaf)) {
+    return random_value(rng, magnitude, /*max_depth=*/1);
+  }
+  return original;
+}
+
+}  // namespace ftss

@@ -1,0 +1,26 @@
+// Systemic-failure adversaries: generators of arbitrary corrupted states.
+//
+// A systemic failure (§2.1) replaces a process's state with an arbitrary
+// value.  These helpers produce reproducible adversarial states, from fully
+// random garbage to targeted mutations of a legitimate snapshot (flip one
+// field, offset the round counter, swap types), which are the corruptions
+// the paper's mechanisms must specifically survive.
+#pragma once
+
+#include "util/rng.h"
+#include "util/value.h"
+
+namespace ftss {
+
+// A completely random Value of bounded depth/size: ints in
+// [-magnitude, magnitude], short strings, small arrays and maps.
+Value random_value(Rng& rng, std::int64_t magnitude, int max_depth = 3);
+
+// Mutate a legitimate snapshot: with each leaf independently replaced by a
+// random value with probability `p_leaf`.  Structure (map keys, array sizes)
+// is preserved, modeling corruption that scrambles variable contents but is
+// "plausible" — often harder to recover from than obvious garbage.
+Value mutate_value(const Value& original, Rng& rng, double p_leaf,
+                   std::int64_t magnitude);
+
+}  // namespace ftss

@@ -1,0 +1,87 @@
+// Process-failure injection for the synchronous simulator.
+//
+// The paper (§2) admits general-omission process failures: a faulty process
+// may crash, fail to send, and/or fail to receive.  A FaultPlan is a
+// declarative, reproducible schedule of such deviations for one process.
+// A process with an empty plan never deviates and is correct by definition;
+// note that per §2.1 a corrupted *initial state* does NOT make a process
+// faulty — corruption is configured separately on the simulator.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace ftss {
+
+// One omission rule: drop messages (sends or receives, depending on which
+// list it is placed in) to/from `peer` during actual rounds
+// [from_round, to_round], each independently with probability `probability`
+// (1.0 = always).  peer == kAllPeers matches every remote process.  A rule
+// never drops a process's own broadcast to itself: the paper's footnote 1
+// guarantees every process, correct or faulty, receives its own broadcast.
+struct OmissionRule {
+  static constexpr ProcessId kAllPeers = -1;
+
+  Round from_round = 1;
+  Round to_round = std::numeric_limits<Round>::max();
+  ProcessId peer = kAllPeers;
+  double probability = 1.0;
+
+  bool covers(Round r, ProcessId other) const {
+    return r >= from_round && r <= to_round &&
+           (peer == kAllPeers || peer == other);
+  }
+};
+
+struct FaultPlan {
+  // Crash at the *start* of this actual round: the process takes no step in
+  // that round or any later round (sends nothing, receives nothing, its
+  // state becomes undefined).  Partial sends in a crash round are modeled by
+  // send-omission rules in round r combined with crash_at = r + 1.
+  std::optional<Round> crash_at;
+
+  std::vector<OmissionRule> send_omissions;
+  std::vector<OmissionRule> receive_omissions;
+
+  bool empty() const {
+    return !crash_at && send_omissions.empty() && receive_omissions.empty();
+  }
+
+  // Convenience constructors for common adversaries. ------------------------
+
+  static FaultPlan crash(Round r) {
+    FaultPlan p;
+    p.crash_at = r;
+    return p;
+  }
+
+  // "Hiding" process used in the Theorem 1 scenario: sends nothing to anyone
+  // until (and excluding) round `reveal_round`, then behaves correctly.
+  static FaultPlan hide_until(Round reveal_round) {
+    FaultPlan p;
+    p.send_omissions.push_back(
+        OmissionRule{.from_round = 1, .to_round = reveal_round - 1});
+    return p;
+  }
+
+  // Never communicates with anyone, ever (Theorem 2 scenario).
+  static FaultPlan mute() {
+    FaultPlan p;
+    p.send_omissions.push_back(OmissionRule{});
+    return p;
+  }
+
+  // Drop each outgoing / incoming remote message with probability `ps` / `pr`
+  // for the whole execution.
+  static FaultPlan lossy(double ps, double pr) {
+    FaultPlan p;
+    if (ps > 0) p.send_omissions.push_back(OmissionRule{.probability = ps});
+    if (pr > 0) p.receive_omissions.push_back(OmissionRule{.probability = pr});
+    return p;
+  }
+};
+
+}  // namespace ftss

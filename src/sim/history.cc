@@ -1,0 +1,20 @@
+#include "sim/history.h"
+
+namespace ftss {
+
+std::vector<Round> History::coterie_change_rounds() const {
+  std::vector<Round> changes;
+  for (std::size_t i = 1; i < rounds.size(); ++i) {
+    if (rounds[i].coterie != rounds[i - 1].coterie) {
+      changes.push_back(rounds[i].round);
+    }
+  }
+  return changes;
+}
+
+Round History::last_coterie_change() const {
+  auto changes = coterie_change_rounds();
+  return changes.empty() ? 0 : changes.back();
+}
+
+}  // namespace ftss

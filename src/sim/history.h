@@ -1,0 +1,77 @@
+// Execution histories (§2.1): the external observer's record of a run.
+//
+// A round history records, per process, the state at the start of the round
+// and the actions (sends, deliveries, failures) taken during it.  The
+// Σ-predicate checkers in core/predicates.h are evaluated over these records
+// exactly as the paper's definitions quantify over histories.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace ftss {
+
+// One message send attempt and its fate.
+struct SendRecord {
+  ProcessId sender = -1;
+  ProcessId dest = -1;
+  Value payload;
+  bool delivered = false;
+  // Round at which the message was (or would have been) delivered; equals
+  // the sending round unless the simulator's delivery jitter delayed it.
+  Round delivery_round = 0;
+  // Why it was not delivered (at most one cause is recorded).
+  bool dropped_by_sender = false;    // send-omission fault of `sender`
+  bool dropped_by_receiver = false;  // receive-omission fault of `dest`
+  bool dest_crashed = false;
+};
+
+// The observer's record of one actual round r (1-based).
+struct RoundRecord {
+  Round round = 0;
+
+  // Per-process facts at the *start* of the round.
+  std::vector<bool> alive;                        // not crashed
+  std::vector<bool> halted;                       // self-halted (uniform Π)
+  std::vector<Value> state;                       // snapshot (null if dead)
+  std::vector<std::optional<Round>> clock;        // c_p^r, if exposed
+
+  std::vector<SendRecord> sends;
+
+  // Processes whose fault plan has *manifested* (crash occurred or an
+  // omission actually dropped a message) in any round <= this one.  This is
+  // F(H', Π) for the r-prefix H'.
+  std::vector<bool> faulty_by_now;
+
+  // Coterie of the r-prefix (Definition 2.3), computed at the end of the
+  // round: p is a member iff p happened-before every process correct in the
+  // prefix.
+  std::vector<bool> coterie;
+};
+
+struct History {
+  int n = 0;
+  std::vector<RoundRecord> rounds;
+
+  Round length() const { return static_cast<Round>(rounds.size()); }
+  const RoundRecord& at(Round r) const { return rounds.at(r - 1); }  // 1-based
+
+  // Faulty set of the whole recorded history.
+  std::vector<bool> faulty() const {
+    return rounds.empty() ? std::vector<bool>(n, false)
+                          : rounds.back().faulty_by_now;
+  }
+
+  // Rounds r (1-based) at whose end the coterie differs from the coterie at
+  // the end of round r-1.  These are the paper's de-stabilizing events.
+  std::vector<Round> coterie_change_rounds() const;
+
+  // Last de-stabilizing event, or 0 if the coterie never changed after
+  // round 1.  (The coterie established by the very first round of all-to-all
+  // exchange is the baseline, not a change.)
+  Round last_coterie_change() const;
+};
+
+}  // namespace ftss

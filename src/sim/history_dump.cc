@@ -1,0 +1,73 @@
+#include "sim/history_dump.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ftss {
+
+void dump_history(std::ostream& os, const History& h, DumpOptions options) {
+  const Round to = options.to_round > 0
+                       ? std::min(options.to_round, h.length())
+                       : h.length();
+  os << "round |";
+  for (int p = 0; p < h.n; ++p) os << "      c_" << p << " |";
+  if (options.show_coterie) os << " coterie";
+  if (options.show_faulty) os << " | faulty";
+  os << "\n";
+
+  for (Round r = std::max<Round>(options.from_round, 1); r <= to; ++r) {
+    const RoundRecord& rec = h.at(r);
+    os << std::setw(5) << r << " |";
+    for (int p = 0; p < h.n; ++p) {
+      if (!rec.alive[p]) {
+        os << "  crashed |";
+      } else if (rec.halted[p]) {
+        os << "   halted |";
+      } else if (rec.clock[p]) {
+        os << std::setw(9) << *rec.clock[p] << " |";
+      } else {
+        os << "        ? |";
+      }
+    }
+    if (options.show_coterie) {
+      os << " {";
+      for (int p = 0; p < h.n; ++p) {
+        if (rec.coterie[p]) os << p;
+      }
+      os << "}";
+    }
+    if (options.show_faulty) {
+      os << " | {";
+      for (int p = 0; p < h.n; ++p) {
+        if (rec.faulty_by_now[p]) os << p;
+      }
+      os << "}";
+    }
+    os << "\n";
+    if (options.show_sends) {
+      for (const auto& s : rec.sends) {
+        os << "        " << s.sender << " -> " << s.dest << " ";
+        if (s.delivered) {
+          os << "delivered";
+        } else if (s.dropped_by_sender) {
+          os << "DROPPED (send omission)";
+        } else if (s.dropped_by_receiver) {
+          os << "DROPPED (receive omission)";
+        } else if (s.dest_crashed) {
+          os << "LOST (dest crashed)";
+        }
+        if (!s.payload.is_null()) os << "  " << s.payload;
+        os << "\n";
+      }
+    }
+  }
+}
+
+std::string history_to_string(const History& h, DumpOptions options) {
+  std::ostringstream os;
+  dump_history(os, h, options);
+  return os.str();
+}
+
+}  // namespace ftss

@@ -1,0 +1,55 @@
+// Interface implemented by round-based protocol processes (§2.1).
+//
+// Each synchronous round has two protocol-visible moments:
+//   begin_round  — the process emits its messages for the round;
+//   end_round    — the process receives the round's deliveries and moves to
+//                  its next state.
+// The simulator additionally uses snapshot_state/restore_state to record
+// histories and to inject systemic failures (arbitrary initial states).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace ftss {
+
+// Outbox handed to a process during begin_round.  Destinations include the
+// sender itself; per the paper a process always receives its own broadcast.
+class Outbox {
+ public:
+  virtual ~Outbox() = default;
+  virtual void send(ProcessId to, Value payload) = 0;
+  virtual void broadcast(Value payload) = 0;  // to all n processes, incl. self
+  virtual int process_count() const = 0;
+};
+
+class SyncProcess {
+ public:
+  virtual ~SyncProcess() = default;
+
+  // Emit this round's messages.
+  virtual void begin_round(Outbox& out) = 0;
+
+  // Consume this round's deliveries (sorted by sender id) and transition.
+  virtual void end_round(const std::vector<Message>& delivered) = 0;
+
+  // Full serialization of the process state, used for history recording and
+  // as the target of systemic corruption.  restore_state must accept *any*
+  // Value — a systemic failure can hand it arbitrary garbage — and map it to
+  // some state in the process's state space without crashing.
+  virtual Value snapshot_state() const = 0;
+  virtual void restore_state(const Value& state) = 0;
+
+  // The distinguished round variable c_p, if this protocol has one
+  // (Assumption 1 problems do).  Used by the Σ-predicate checkers.
+  virtual std::optional<Round> round_counter() const { return std::nullopt; }
+
+  // Whether the process has halted itself (used by *uniform* protocols that
+  // "self-check and halt" — the technique Theorem 2 rules out).  A halted
+  // process sends nothing and ignores deliveries but is not crashed.
+  virtual bool halted() const { return false; }
+};
+
+}  // namespace ftss

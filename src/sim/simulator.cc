@@ -1,0 +1,201 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ftss {
+
+class SyncSimulator::OutboxImpl : public Outbox {
+ public:
+  OutboxImpl(ProcessId self, int n, std::vector<Message>* sink)
+      : self_(self), n_(n), sink_(sink) {}
+
+  void send(ProcessId to, Value payload) override {
+    if (to < 0 || to >= n_) {
+      throw std::out_of_range("Outbox::send: bad destination");
+    }
+    sink_->push_back(Message{self_, to, std::move(payload)});
+  }
+
+  void broadcast(Value payload) override {
+    for (ProcessId q = 0; q < n_; ++q) {
+      sink_->push_back(Message{self_, q, payload});
+    }
+  }
+
+  int process_count() const override { return n_; }
+
+ private:
+  ProcessId self_;
+  int n_;
+  std::vector<Message>* sink_;
+};
+
+SyncSimulator::SyncSimulator(SyncConfig config,
+                             std::vector<std::unique_ptr<SyncProcess>> processes)
+    : config_(config),
+      rng_(config.seed),
+      processes_(std::move(processes)),
+      plans_(processes_.size()),
+      fault_manifested_(processes_.size(), false),
+      causality_(static_cast<int>(processes_.size())) {
+  history_.n = static_cast<int>(processes_.size());
+}
+
+void SyncSimulator::set_fault_plan(ProcessId p, FaultPlan plan) {
+  if (started_) throw std::logic_error("fault plans must precede execution");
+  plans_.at(p) = std::move(plan);
+}
+
+void SyncSimulator::corrupt_state(ProcessId p, const Value& state) {
+  if (started_) throw std::logic_error("corruption must precede execution");
+  processes_.at(p)->restore_state(state);
+}
+
+bool SyncSimulator::crashed(ProcessId p) const {
+  return plans_[p].crash_at && round_ + 1 >= *plans_[p].crash_at;
+}
+
+std::vector<bool> SyncSimulator::planned_faulty() const {
+  std::vector<bool> f(processes_.size(), false);
+  for (std::size_t p = 0; p < plans_.size(); ++p) f[p] = !plans_[p].empty();
+  return f;
+}
+
+bool SyncSimulator::send_dropped(ProcessId s, ProcessId d, Round r) {
+  if (s == d) return false;  // own broadcast is always received (footnote 1)
+  for (const auto& rule : plans_[s].send_omissions) {
+    if (rule.covers(r, d) && (rule.probability >= 1.0 || rng_.chance(rule.probability))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SyncSimulator::receive_dropped(ProcessId s, ProcessId d, Round r) {
+  if (s == d) return false;
+  for (const auto& rule : plans_[d].receive_omissions) {
+    if (rule.covers(r, s) && (rule.probability >= 1.0 || rng_.chance(rule.probability))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SyncSimulator::run_rounds(int k) {
+  started_ = true;
+  const int n = process_count();
+
+  for (int step = 0; step < k; ++step) {
+    const Round r = ++round_;
+    RoundRecord rec;
+    rec.round = r;
+    rec.alive.resize(n);
+    rec.halted.resize(n);
+    rec.state.resize(n);
+    rec.clock.resize(n);
+
+    std::vector<bool> alive(n);
+    for (ProcessId p = 0; p < n; ++p) {
+      alive[p] = !(plans_[p].crash_at && r >= *plans_[p].crash_at);
+      rec.alive[p] = alive[p];
+      if (alive[p]) {
+        rec.halted[p] = processes_[p]->halted();
+        if (config_.record_states) rec.state[p] = processes_[p]->snapshot_state();
+        rec.clock[p] = processes_[p]->round_counter();
+      }
+      // A crash that takes effect this round manifests the fault now.
+      if (plans_[p].crash_at && r >= *plans_[p].crash_at) {
+        fault_manifested_[p] = true;
+      }
+    }
+
+    causality_.begin_round();
+
+    // Send phase: every live, non-halted process emits its messages.
+    std::vector<Message> outgoing;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!alive[p] || processes_[p]->halted()) continue;
+      OutboxImpl out(p, n, &outgoing);
+      processes_[p]->begin_round(out);
+    }
+
+    std::vector<std::vector<Message>> inbox(n);
+
+    // Resolve a message at its delivery round: crash / receive-omission /
+    // delivery, recording the outcome in the current round's record.
+    auto resolve = [&](Message&& m, Round sent_round,
+                       const std::vector<bool>& sender_influence) {
+      SendRecord sr;
+      sr.sender = m.sender;
+      sr.dest = m.dest;
+      sr.delivery_round = r;
+      if (config_.record_states) sr.payload = m.payload;
+      if (!alive[m.dest]) {
+        sr.dest_crashed = true;
+      } else if (receive_dropped(m.sender, m.dest, r)) {
+        sr.dropped_by_receiver = true;
+        fault_manifested_[m.dest] = true;
+      } else {
+        sr.delivered = true;
+        causality_.deliver_snapshot(sender_influence, m.dest);
+        inbox[m.dest].push_back(std::move(m));
+      }
+      (void)sent_round;
+      rec.sends.push_back(std::move(sr));
+    };
+
+    // Messages from earlier rounds whose delivery jitter expires now.
+    if (auto it = in_flight_.find(r); it != in_flight_.end()) {
+      for (auto& flight : it->second) {
+        resolve(std::move(flight.message), flight.sent_round,
+                flight.sender_influence);
+      }
+      in_flight_.erase(it);
+    }
+
+    // This round's sends: send-omission faults apply now; remote messages
+    // may be delayed, self-deliveries never are.
+    for (auto& m : outgoing) {
+      if (send_dropped(m.sender, m.dest, r)) {
+        SendRecord sr;
+        sr.sender = m.sender;
+        sr.dest = m.dest;
+        sr.delivery_round = r;
+        if (config_.record_states) sr.payload = m.payload;
+        sr.dropped_by_sender = true;
+        fault_manifested_[m.sender] = true;
+        rec.sends.push_back(std::move(sr));
+        continue;
+      }
+      const int delay =
+          (config_.max_extra_delay > 0 && m.sender != m.dest)
+              ? static_cast<int>(rng_.uniform(0, config_.max_extra_delay))
+              : 0;
+      if (delay == 0) {
+        resolve(std::move(m), r, causality_.send_snapshot(m.sender));
+      } else {
+        in_flight_[r + delay].push_back(
+            InFlight{std::move(m), r, causality_.send_snapshot(m.sender)});
+      }
+    }
+
+    // Receive/transition phase.
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!alive[p] || processes_[p]->halted()) continue;
+      std::stable_sort(inbox[p].begin(), inbox[p].end(),
+                       [](const Message& a, const Message& b) {
+                         return a.sender < b.sender;
+                       });
+      processes_[p]->end_round(inbox[p]);
+    }
+
+    rec.faulty_by_now = fault_manifested_;
+    std::vector<bool> correct(n);
+    for (int p = 0; p < n; ++p) correct[p] = !fault_manifested_[p];
+    rec.coterie = causality_.coterie(correct);
+    history_.rounds.push_back(std::move(rec));
+  }
+}
+
+}  // namespace ftss

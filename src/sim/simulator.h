@@ -1,0 +1,89 @@
+// The perfectly synchronous, completely connected message-passing system of
+// §2: all processes step in lock-step rounds, message delivery takes exactly
+// one round, and the simulator plays the roles of network, fault adversary,
+// systemic-failure adversary and external observer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/causality.h"
+#include "sim/fault.h"
+#include "sim/history.h"
+#include "sim/process.h"
+#include "util/rng.h"
+
+namespace ftss {
+
+struct SyncConfig {
+  std::uint64_t seed = 1;
+  // Record full state snapshots into the history (disable for large
+  // benchmark sweeps where only clocks/coterie matter).
+  bool record_states = true;
+  // "Synchronous, but not perfectly synchronized" (§3's opening remark):
+  // each REMOTE message is delayed by a uniformly random 0..max_extra_delay
+  // additional rounds (0 = the perfectly synchronous model, delivery at the
+  // end of the sending round).  A process always receives its own broadcast
+  // in the sending round.  Receive-omission faults are evaluated at the
+  // delivery round; send-omission faults at the send round.
+  int max_extra_delay = 0;
+};
+
+class SyncSimulator {
+ public:
+  // Takes ownership of the processes.  All fault plans and corruptions must
+  // be configured before the first run_rounds call.
+  SyncSimulator(SyncConfig config,
+                std::vector<std::unique_ptr<SyncProcess>> processes);
+
+  int process_count() const { return static_cast<int>(processes_.size()); }
+
+  // Declare process p's failure behavior (default: correct).
+  void set_fault_plan(ProcessId p, FaultPlan plan);
+
+  // Systemic failure: replace p's initial state with `state` before
+  // execution commences.  Per §2.1 this does NOT make p faulty.
+  void corrupt_state(ProcessId p, const Value& state);
+
+  // Execute `k` more rounds (the execution can be extended incrementally;
+  // actual round numbers continue from where the previous call stopped).
+  void run_rounds(int k);
+
+  Round current_round() const { return round_; }  // rounds executed so far
+  const History& history() const { return history_; }
+  SyncProcess& process(ProcessId p) { return *processes_.at(p); }
+  const SyncProcess& process(ProcessId p) const { return *processes_.at(p); }
+
+  bool crashed(ProcessId p) const;
+  // Fault plans that *will* deviate at some point, i.e. F(H,Π) for the
+  // infinite extension of this execution.
+  std::vector<bool> planned_faulty() const;
+
+ private:
+  class OutboxImpl;
+
+  bool send_dropped(ProcessId s, ProcessId d, Round r);
+  bool receive_dropped(ProcessId s, ProcessId d, Round r);
+
+  // A message delayed past its sending round, together with the sender's
+  // happened-before snapshot at send time (needed for correct causality).
+  struct InFlight {
+    Message message;
+    Round sent_round = 0;
+    std::vector<bool> sender_influence;
+  };
+
+  SyncConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<SyncProcess>> processes_;
+  std::vector<FaultPlan> plans_;
+  std::vector<bool> fault_manifested_;
+  CausalityTracker causality_;
+  History history_;
+  std::map<Round, std::vector<InFlight>> in_flight_;  // by delivery round
+  Round round_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ftss

@@ -1,0 +1,25 @@
+// Basic identifiers and message envelope for the synchronous model (§2.1).
+#pragma once
+
+#include <cstdint>
+
+#include "util/value.h"
+
+namespace ftss {
+
+// Processes are numbered 0..n-1.
+using ProcessId = int;
+
+// Round numbers.  *Actual* rounds (the external observer's count) start at 1
+// and are always positive; *round variables* c_p held by processes are
+// unbounded and, after a systemic failure, may hold any value at all.
+using Round = std::int64_t;
+
+// A message in flight during one synchronous round.
+struct Message {
+  ProcessId sender = -1;
+  ProcessId dest = -1;
+  Value payload;
+};
+
+}  // namespace ftss

@@ -1,0 +1,51 @@
+// Deterministic parallel sweeps.
+//
+// Benchmark and test grids run many independent seeded simulations; this
+// helper fans them out across threads while keeping results ordered by
+// index, so aggregate output is identical to a sequential run.  Simulations
+// themselves stay single-threaded (determinism is a core property of the
+// harness); only the sweep is parallel.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ftss {
+
+// Evaluates fn(i) for i in [0, count) on up to `threads` workers (0 = one
+// per hardware thread) and returns the results ordered by i.
+template <typename Result>
+std::vector<Result> parallel_sweep(std::size_t count,
+                                   const std::function<Result(std::size_t)>& fn,
+                                   unsigned threads = 0) {
+  std::vector<Result> results(count);
+  if (count == 0) return results;
+  unsigned worker_count = threads != 0 ? threads
+                                       : std::max(1u, std::thread::hardware_concurrency());
+  worker_count = static_cast<unsigned>(
+      std::min<std::size_t>(worker_count, count));
+
+  if (worker_count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (unsigned w = 0; w < worker_count; ++w) {
+    workers.emplace_back([&]() {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1)) {
+        results[i] = fn(i);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  return results;
+}
+
+}  // namespace ftss

@@ -1,0 +1,108 @@
+// Dynamic value type used for all protocol states and message payloads.
+//
+// The paper's systemic-failure model lets an adversary replace the *entire*
+// state of every process with arbitrary contents.  Representing states and
+// payloads as one dynamic, recursively-structured value type means a single
+// corruption API can mangle any protocol's state uniformly, and history
+// recording / full-information relays need no per-protocol serialization.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ftss {
+
+// A JSON-like immutable-ish value: null, bool, integer, string, array, map.
+// Ordered (operator<=>) so values can key std::map and be deterministically
+// sorted; equality is deep.  Doubles are deliberately excluded so equality
+// and ordering stay exact (protocol states must compare reproducibly).
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Map = std::map<std::string, Value>;
+
+  Value() = default;
+  Value(bool b) : v_(b) {}                        // NOLINT(google-explicit-constructor)
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}        // NOLINT
+  Value(long i) : v_(static_cast<std::int64_t>(i)) {}       // NOLINT
+  Value(long long i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}    // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}      // NOLINT
+  Value(Array a) : v_(std::move(a)) {}            // NOLINT
+  Value(Map m) : v_(std::move(m)) {}              // NOLINT
+
+  static Value array(std::initializer_list<Value> items) {
+    return Value(Array(items));
+  }
+  static Value map(std::initializer_list<Map::value_type> items) {
+    return Value(Map(items));
+  }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_map() const { return std::holds_alternative<Map>(v_); }
+
+  // Checked accessors: throw std::bad_variant_access on type mismatch.
+  // Protocol code deliberately uses the *_or forms when reading state that a
+  // systemic failure may have replaced with a value of the wrong type.
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  const Map& as_map() const { return std::get<Map>(v_); }
+  Array& mutable_array() { return std::get<Array>(v_); }
+  Map& mutable_map() { return std::get<Map>(v_); }
+
+  // Tolerant accessors for possibly-corrupted values.
+  bool bool_or(bool fallback) const {
+    return is_bool() ? as_bool() : fallback;
+  }
+  std::int64_t int_or(std::int64_t fallback) const {
+    return is_int() ? as_int() : fallback;
+  }
+  std::string string_or(std::string fallback) const {
+    return is_string() ? as_string() : std::move(fallback);
+  }
+
+  // Map convenience: value at `key`, or null Value if absent / not a map.
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  // Mutating map access; converts a non-map value into an empty map first
+  // (used when repairing corrupted state in stabilizing protocols).
+  Value& operator[](const std::string& key);
+
+  // Array convenience.
+  std::size_t size() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b);
+
+  // Compact single-line JSON rendering (strings escaped), for logs, test
+  // diagnostics and repro files.  parse() round-trips it exactly.
+  std::string to_string() const;
+
+  // Parses the to_string format (a JSON subset: null, true/false, 64-bit
+  // integers, strings, arrays, objects).  Returns nullopt on malformed
+  // input — useful for loading saved corrupted-state reproductions.
+  static std::optional<Value> parse(std::string_view text);
+
+  // Stable content hash (FNV-1a over a canonical encoding).
+  std::uint64_t hash() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, std::string, Array, Map> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace ftss

@@ -1,0 +1,90 @@
+// Regression tests for the compiler's defense ablations (§2.4's "insidious
+// problem", measured in EXP7b): with round tags disabled, a stale poisoned
+// faulty process keeps polluting Π forever; with them enabled the same
+// execution recovers on schedule.
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "core/predicates.h"
+#include "protocols/floodset.h"
+#include "protocols/repeated.h"
+#include "sim/corrupt.h"
+#include "sim/simulator.h"
+
+namespace ftss {
+namespace {
+
+InputSource int_inputs() {
+  return [](ProcessId p, std::int64_t iteration) {
+    return Value(100 * iteration + p);
+  };
+}
+
+// One receive-deaf faulty process free-runs a lagging round counter with
+// poisoned FloodSet values; everyone else is mildly corrupted.
+SyncSimulator make_scenario(CompilerOptions options, std::uint64_t seed) {
+  const int n = 5, f = 2;
+  auto protocol = std::make_shared<FloodSetConsensus>(f);
+  SyncSimulator sim(SyncConfig{.seed = seed, .record_states = false},
+                    compile_protocol(n, protocol, int_inputs(), options));
+  Rng rng(seed);
+  const ProcessId stale = n - 1;
+  for (ProcessId p = 0; p < n; ++p) {
+    Value evil;
+    evil["c"] = Value(p == stale ? -1000 : rng.uniform(-20, 20));
+    evil["s"] = Value::map(
+        {{"vals", Value::array({Value(-rng.uniform(1000, 9999))})}});
+    sim.corrupt_state(p, evil);
+  }
+  FaultPlan deaf;
+  deaf.receive_omissions.push_back(OmissionRule{});
+  sim.set_fault_plan(stale, deaf);
+  return sim;
+}
+
+RepeatedAnalysis run(CompilerOptions options, std::uint64_t seed) {
+  auto sim = make_scenario(options, seed);
+  sim.run_rounds(40);
+  return analyze_repeated(compiled_views(sim), sim.history().faulty(),
+                          consensus_validity_any(int_inputs(), 5));
+}
+
+TEST(CompilerAblation, DefaultDefensesRecover) {
+  auto analysis = run(CompilerOptions{}, 1);
+  auto clean_from = analysis.clean_from(true);
+  ASSERT_TRUE(clean_from.has_value());
+  EXPECT_LE(*clean_from, 10);
+}
+
+TEST(CompilerAblation, NoRoundTagsNeverRecovers) {
+  CompilerOptions options;
+  options.use_round_tags = false;
+  auto analysis = run(options, 1);
+  // The stale process's poisoned, out-of-date messages reach Π every round:
+  // every iteration decides the poison and validity never returns.
+  EXPECT_FALSE(analysis.clean_from(true).has_value());
+  for (const auto& it : analysis.iterations) {
+    EXPECT_FALSE(it.validity) << "iteration " << it.iteration;
+  }
+}
+
+TEST(CompilerAblation, SuspectFilterAloneDoesNotSubstituteForTags) {
+  CompilerOptions options;
+  options.use_round_tags = false;
+  options.use_suspect_filter = true;  // explicitly: still broken without tags
+  auto analysis = run(options, 2);
+  EXPECT_FALSE(analysis.clean_from(true).has_value());
+}
+
+TEST(CompilerAblation, TagsWithoutSuspectsStillRecoverForMonotonePi) {
+  // For union-monotone Π like FloodSet the suspect filter adds nothing on
+  // top of the tags (EXP7b's observation, pinned as a regression).
+  CompilerOptions options;
+  options.use_suspect_filter = false;
+  auto analysis = run(options, 3);
+  ASSERT_TRUE(analysis.clean_from(true).has_value());
+  EXPECT_LE(*analysis.clean_from(true), 10);
+}
+
+}  // namespace
+}  // namespace ftss

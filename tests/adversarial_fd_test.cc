@@ -1,0 +1,149 @@
+// Consensus driven by SCRIPTED failure detectors — probing the exact ◇S
+// boundary: eventual weak accuracy (one correct process eventually trusted
+// by all) is sufficient for liveness, and each property's absence is fatal
+// in the way the theory predicts.
+#include <gtest/gtest.h>
+
+#include "async/module.h"
+#include "consensus/ct_consensus.h"
+#include "consensus/harness.h"
+
+namespace ftss {
+namespace {
+
+// Assemble nodes whose consensus consults an arbitrary scripted predicate
+// (per-process factory), bypassing the real detector stack.
+std::unique_ptr<EventSimulator> scripted_system(
+    int n, std::uint64_t seed,
+    const std::function<WeakDetect(ProcessId)>& detector_for,
+    StabilizationOptions options = StabilizationOptions::ftss(),
+    AsyncConfig config = {}) {
+  std::vector<std::unique_ptr<AsyncProcess>> nodes;
+  for (ProcessId p = 0; p < n; ++p) {
+    auto cons = std::make_unique<CtConsensus>(p, n, Value(100 + p),
+                                              detector_for(p), options);
+    std::vector<std::unique_ptr<Module>> mods;
+    mods.push_back(std::move(cons));
+    nodes.push_back(std::make_unique<ModuleHost>(std::move(mods)));
+  }
+  config.seed = seed;
+  return std::make_unique<EventSimulator>(config, std::move(nodes));
+}
+
+ConsensusOutcome outcome_of(EventSimulator& sim, int n) {
+  std::vector<Value> inputs;
+  for (int p = 0; p < n; ++p) inputs.push_back(Value(100 + p));
+  return evaluate_consensus(sim, inputs);
+}
+
+TEST(AdversarialFd, OneTrustedProcessSufficesForever) {
+  // The ◇S minimum: every process permanently suspects everyone EXCEPT
+  // process 0.  Rounds whose coordinator is suspected are nacked through;
+  // the round with coordinator 0 decides.
+  const int n = 5;
+  auto sim = scripted_system(n, 1, [](ProcessId) {
+    return [](ProcessId s) { return s != 0; };
+  });
+  sim->run_until(50000);
+  auto outcome = outcome_of(*sim, n);
+  EXPECT_TRUE(outcome.all_correct_decided);
+  EXPECT_TRUE(outcome.agreement);
+  EXPECT_TRUE(outcome.validity);
+}
+
+TEST(AdversarialFd, MissingCompletenessIsFatalWithACrash) {
+  // Detector NEVER suspects anyone; coordinator of round 0 crashes at once.
+  // Without completeness nobody can nack past round 0: no decision, ever —
+  // but safety (vacuously) holds.  This is why ◇S needs completeness.
+  const int n = 3;
+  auto sim = scripted_system(n, 2, [](ProcessId) {
+    return [](ProcessId) { return false; };
+  });
+  sim->schedule_crash(0, 0);
+  sim->run_until(100000);
+  auto outcome = outcome_of(*sim, n);
+  EXPECT_EQ(outcome.decided_count, 0);
+}
+
+TEST(AdversarialFd, MissingAccuracyIsFatal) {
+  // Every process permanently suspects EVERYONE, and the schedule is
+  // adversarial: detector polls (ticks) far outpace message delivery, so a
+  // coordinator's estimate can never arrive before the round is nacked
+  // away.  The system churns rounds forever without deciding — why ◇S
+  // needs eventual weak accuracy.  (With benign timing a coordinator can
+  // win the race against the next poll; liveness proofs must cover THIS
+  // schedule.)
+  const int n = 3;
+  AsyncConfig slow_network;
+  slow_network.tick_interval = 1;
+  slow_network.min_delay = 30;
+  slow_network.max_delay = 60;
+  auto sim = scripted_system(
+      n, 3, [](ProcessId) { return [](ProcessId) { return true; }; },
+      StabilizationOptions::ftss(), slow_network);
+  sim->run_until(50000);
+  auto outcome = outcome_of(*sim, n);
+  EXPECT_EQ(outcome.decided_count, 0);
+  // ...and the rounds really did churn.
+  const auto* cons =
+      dynamic_cast<const ModuleHost&>(sim->process(0)).find<CtConsensus>("cons");
+  EXPECT_GT(cons->round(), 100);
+}
+
+TEST(AdversarialFd, LateAccuracyStillDecides) {
+  // Suspicions of everyone for a long prefix, then (simulating "eventually")
+  // process 0 becomes trusted.  Decision follows the accuracy switch.
+  const int n = 5;
+  // The scripted predicate reads a shared switch — set after 20000 ticks of
+  // churn via a counter per process (deterministic, no wall clock).
+  auto counters = std::make_shared<std::vector<std::int64_t>>(n, 0);
+  auto sim = scripted_system(n, 4, [counters](ProcessId p) {
+    return [counters, p](ProcessId s) {
+      // Each query advances this process's local counter; accuracy for
+      // process 0 "arrives" after 2000 queries.
+      ++(*counters)[p];
+      if (s == 0 && (*counters)[p] > 2000) return false;
+      return true;
+    };
+  });
+  sim->run_until(120000);
+  auto outcome = outcome_of(*sim, n);
+  EXPECT_TRUE(outcome.all_correct_decided);
+  EXPECT_TRUE(outcome.agreement);
+}
+
+TEST(AdversarialFd, SafetyHoldsUnderFlappingSuspicions) {
+  // Suspicions flap pseudo-randomly every query.  Liveness is then a matter
+  // of luck, but agreement must be unconditional.
+  const int n = 5;
+  auto rngs = std::make_shared<std::vector<std::uint64_t>>(n, 12345);
+  auto sim = scripted_system(n, 5, [rngs](ProcessId p) {
+    return [rngs, p](ProcessId) {
+      auto& x = (*rngs)[p];
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      return (x >> 33) % 3 == 0;  // ~33% suspicion rate
+    };
+  });
+  sim->run_until(60000);
+  auto outcome = outcome_of(*sim, n);
+  EXPECT_TRUE(outcome.agreement);
+  if (outcome.decided_count > 0) {
+    EXPECT_TRUE(outcome.validity);
+  }
+}
+
+TEST(AdversarialFd, BaselineNeedsTheSameMinimum) {
+  // The CT91 baseline under the ◇S-minimum detector also decides from a
+  // clean start — our superimposition did not weaken the detector contract.
+  const int n = 5;
+  auto sim = scripted_system(
+      n, 6, [](ProcessId) { return [](ProcessId s) { return s != 0; }; },
+      StabilizationOptions::baseline());
+  sim->run_until(50000);
+  auto outcome = outcome_of(*sim, n);
+  EXPECT_TRUE(outcome.all_correct_decided);
+  EXPECT_TRUE(outcome.agreement);
+}
+
+}  // namespace
+}  // namespace ftss

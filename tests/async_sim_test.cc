@@ -1,0 +1,187 @@
+// Unit tests for the asynchronous discrete-event simulator.
+#include "async/event_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace ftss {
+namespace {
+
+// Probe: counts ticks, echoes messages, records deliveries.
+class Probe : public AsyncProcess {
+ public:
+  void on_start(AsyncContext& ctx) override {
+    started_ = true;
+    ctx.broadcast(Value("hello"));
+  }
+  void on_tick(AsyncContext&) override { ++ticks_; }
+  void on_message(AsyncContext& ctx, ProcessId from,
+                  const Value& payload) override {
+    deliveries_.emplace_back(ctx.now(), from, payload);
+  }
+  Value snapshot_state() const override {
+    Value v;
+    v["ticks"] = Value(ticks_);
+    return v;
+  }
+  void restore_state(const Value& state) override {
+    ticks_ = state.at("ticks").int_or(0);
+  }
+
+  bool started_ = false;
+  std::int64_t ticks_ = 0;
+  std::vector<std::tuple<Time, ProcessId, Value>> deliveries_;
+};
+
+std::vector<std::unique_ptr<AsyncProcess>> probes(int n) {
+  std::vector<std::unique_ptr<AsyncProcess>> v;
+  for (int i = 0; i < n; ++i) v.push_back(std::make_unique<Probe>());
+  return v;
+}
+
+Probe& probe(EventSimulator& sim, ProcessId p) {
+  return dynamic_cast<Probe&>(sim.process(p));
+}
+
+TEST(EventSimulator, StartRunsAndMessagesArriveWithinDelayBounds) {
+  AsyncConfig config{.seed = 1, .min_delay = 2, .max_delay = 9};
+  EventSimulator sim(config, probes(3));
+  sim.run_until(100);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(probe(sim, p).started_);
+    // 3 broadcasts x 3 destinations: every probe hears 3 hellos.
+    ASSERT_EQ(probe(sim, p).deliveries_.size(), 3u);
+    for (const auto& [t, from, payload] : probe(sim, p).deliveries_) {
+      EXPECT_GE(t, 2);
+      EXPECT_LE(t, 9);
+      EXPECT_EQ(payload, Value("hello"));
+    }
+  }
+}
+
+TEST(EventSimulator, TicksFireAtConfiguredCadence) {
+  AsyncConfig config{.seed = 1, .tick_interval = 10};
+  EventSimulator sim(config, probes(2));
+  sim.run_until(105);
+  EXPECT_GE(probe(sim, 0).ticks_, 9);
+  EXPECT_LE(probe(sim, 0).ticks_, 11);
+}
+
+TEST(EventSimulator, CrashedProcessStopsReceivingAndTicking) {
+  AsyncConfig config{.seed = 1, .tick_interval = 10};
+  EventSimulator sim(config, probes(2));
+  sim.schedule_crash(1, 50);
+  sim.run_until(500);
+  EXPECT_TRUE(sim.crashed(1));
+  EXPECT_FALSE(sim.crashed(0));
+  EXPECT_LE(probe(sim, 1).ticks_, 5);
+  EXPECT_GE(probe(sim, 0).ticks_, 45);
+}
+
+TEST(EventSimulator, CrashAtTimeZeroSkipsStart) {
+  EventSimulator sim(AsyncConfig{}, probes(2));
+  sim.schedule_crash(0, 0);
+  sim.run_until(50);
+  EXPECT_FALSE(probe(sim, 0).started_);
+  // Only process 1's broadcast is ever sent (2 copies, one per process).
+  EXPECT_EQ(probe(sim, 1).deliveries_.size(), 1u);
+}
+
+TEST(EventSimulator, CorruptStateSkipsStartByDefault) {
+  EventSimulator sim(AsyncConfig{}, probes(2));
+  Value garbage;
+  garbage["ticks"] = Value(1000);
+  sim.corrupt_state(0, garbage);
+  sim.run_until(25);
+  EXPECT_FALSE(probe(sim, 0).started_);
+  EXPECT_GE(probe(sim, 0).ticks_, 1000 + 1);  // restored state + live ticks
+  EXPECT_TRUE(probe(sim, 1).started_);
+}
+
+TEST(EventSimulator, CorruptStateCanKeepStart) {
+  EventSimulator sim(AsyncConfig{}, probes(2));
+  sim.corrupt_state(0, Value(), /*skip_start=*/false);
+  sim.run_until(25);
+  EXPECT_TRUE(probe(sim, 0).started_);
+}
+
+TEST(EventSimulator, PreGstDelaysAreLonger) {
+  AsyncConfig config{.seed = 3,
+                     .min_delay = 1,
+                     .max_delay = 5,
+                     .max_delay_pre_gst = 500,
+                     .gst = 1000};
+  EventSimulator sim(config, probes(2));
+  sim.run_until(2000);
+  // The on_start hellos were sent at time 0 (pre-GST): delays may exceed 5.
+  Time max_seen = 0;
+  for (const auto& [t, from, payload] : probe(sim, 0).deliveries_) {
+    max_seen = std::max(max_seen, t);
+  }
+  EXPECT_GT(max_seen, 5);
+  EXPECT_LE(max_seen, 500);
+}
+
+TEST(EventSimulator, DeterministicUnderSeed) {
+  auto fingerprint = [](std::uint64_t seed) {
+    AsyncConfig config{.seed = seed};
+    EventSimulator sim(config, probes(4));
+    sim.run_until(300);
+    std::vector<Time> times;
+    for (ProcessId p = 0; p < 4; ++p) {
+      for (const auto& [t, from, payload] :
+           dynamic_cast<Probe&>(sim.process(p)).deliveries_) {
+        times.push_back(t);
+      }
+    }
+    return times;
+  };
+  EXPECT_EQ(fingerprint(7), fingerprint(7));
+  EXPECT_NE(fingerprint(7), fingerprint(8));
+}
+
+TEST(EventSimulator, ConfigurationAfterStartRejected) {
+  EventSimulator sim(AsyncConfig{}, probes(2));
+  sim.run_until(10);
+  EXPECT_THROW(sim.corrupt_state(0, Value()), std::logic_error);
+  EXPECT_THROW(sim.schedule_crash(0, 50), std::logic_error);
+}
+
+TEST(EventSimulator, MessageCountersTrackTraffic) {
+  EventSimulator sim(AsyncConfig{}, probes(2));
+  sim.run_until(50);
+  EXPECT_EQ(sim.messages_sent(), 4);  // two broadcasts of two copies each
+  EXPECT_EQ(sim.messages_delivered(), 4);
+}
+
+TEST(EventSimulator, CrashLosesUndeliveredMessages) {
+  EventSimulator sim(AsyncConfig{.seed = 1, .min_delay = 20, .max_delay = 30},
+                     probes(2));
+  sim.schedule_crash(1, 10);  // crash before the time-0 hellos can arrive
+  sim.run_until(100);
+  EXPECT_EQ(probe(sim, 1).deliveries_.size(), 0u);
+  EXPECT_LT(sim.messages_delivered(), sim.messages_sent());
+}
+
+TEST(EventSimulator, BadDestinationThrows) {
+  class Bad : public AsyncProcess {
+    void on_start(AsyncContext& ctx) override { ctx.send(99, Value()); }
+    void on_message(AsyncContext&, ProcessId, const Value&) override {}
+    Value snapshot_state() const override { return Value(); }
+    void restore_state(const Value&) override {}
+  };
+  std::vector<std::unique_ptr<AsyncProcess>> v;
+  v.push_back(std::make_unique<Bad>());
+  EventSimulator sim(AsyncConfig{}, std::move(v));
+  EXPECT_THROW(sim.run_until(10), std::out_of_range);
+}
+
+TEST(EventSimulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  EventSimulator sim(AsyncConfig{}, probes(1));
+  sim.run_until(5);
+  EXPECT_EQ(sim.now(), 5);
+  sim.run_until(123);
+  EXPECT_EQ(sim.now(), 123);
+}
+
+}  // namespace
+}  // namespace ftss

@@ -1,0 +1,171 @@
+// Tests for happened-before tracking and coterie computation (Def 2.3).
+#include "sim/causality.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace ftss {
+namespace {
+
+using testing::round_agreement_system;
+
+TEST(Causality, SelfInfluenceIsReflexive) {
+  CausalityTracker t(3);
+  for (int p = 0; p < 3; ++p) EXPECT_TRUE(t.influences(p, p));
+  EXPECT_FALSE(t.influences(0, 1));
+}
+
+TEST(Causality, DirectDelivery) {
+  CausalityTracker t(3);
+  t.begin_round();
+  t.deliver(0, 1);
+  EXPECT_TRUE(t.influences(0, 1));
+  EXPECT_FALSE(t.influences(1, 0));
+}
+
+TEST(Causality, TransitiveAcrossRounds) {
+  CausalityTracker t(3);
+  t.begin_round();
+  t.deliver(0, 1);
+  t.begin_round();
+  t.deliver(1, 2);
+  EXPECT_TRUE(t.influences(0, 2));  // 0 -> 1 -> 2
+}
+
+TEST(Causality, NoTransitivityWithinSameRound) {
+  // In the lock-step model, a message sent at the start of round r carries
+  // only the sender's start-of-round knowledge: 0->1 and 1->2 in the SAME
+  // round must not yield 0->2.
+  CausalityTracker t(3);
+  t.begin_round();
+  t.deliver(0, 1);
+  t.deliver(1, 2);
+  EXPECT_FALSE(t.influences(0, 2));
+}
+
+TEST(Causality, CoterieRequiresReachingAllCorrect) {
+  CausalityTracker t(3);
+  t.begin_round();
+  // 0 reaches everyone; 1 reaches only 0; 2 reaches nobody.
+  t.deliver(0, 1);
+  t.deliver(0, 2);
+  t.deliver(1, 0);
+  std::vector<bool> correct{true, true, true};
+  auto cot = t.coterie(correct);
+  EXPECT_TRUE(cot[0]);
+  EXPECT_FALSE(cot[1]);  // 1 has not reached 2
+  EXPECT_FALSE(cot[2]);
+}
+
+TEST(Causality, FaultyProcessesNotRequiredToBeReached) {
+  CausalityTracker t(3);
+  t.begin_round();
+  t.deliver(0, 1);
+  t.deliver(1, 0);
+  // 2 is faulty: only 0 and 1 must be reached.
+  std::vector<bool> correct{true, true, false};
+  auto cot = t.coterie(correct);
+  EXPECT_TRUE(cot[0]);
+  EXPECT_TRUE(cot[1]);
+  EXPECT_FALSE(cot[2]);  // 2 reached nobody correct except... nobody
+}
+
+TEST(Causality, FaultyProcessCanBeCoterieMember) {
+  // A faulty process that has influenced all correct processes IS in the
+  // coterie (Def 2.3 quantifies over correct q only, any p).
+  CausalityTracker t(3);
+  t.begin_round();
+  t.deliver(2, 0);
+  t.deliver(2, 1);
+  t.deliver(0, 1);
+  t.deliver(1, 0);
+  std::vector<bool> correct{true, true, false};
+  auto cot = t.coterie(correct);
+  EXPECT_TRUE(cot[2]);
+}
+
+TEST(Causality, CoterieInFullCommunicationIsEveryone) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(4));
+  sim.run_rounds(1);
+  EXPECT_EQ(sim.history().at(1).coterie, std::vector<bool>(4, true));
+}
+
+TEST(Causality, HiddenProcessOutsideCoterieUntilReveal) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.set_fault_plan(2, FaultPlan::hide_until(4));
+  sim.run_rounds(6);
+  const auto& h = sim.history();
+  EXPECT_FALSE(h.at(1).coterie[2]);
+  EXPECT_FALSE(h.at(3).coterie[2]);
+  EXPECT_TRUE(h.at(4).coterie[2]);  // reveal round: message reaches all correct
+  EXPECT_TRUE(h.at(6).coterie[2]);
+}
+
+TEST(Causality, CoterieIsMonotoneOverPrefixes) {
+  SyncSimulator sim(SyncConfig{.seed = 11}, round_agreement_system(5));
+  sim.set_fault_plan(1, FaultPlan::lossy(0.6, 0.3));
+  sim.set_fault_plan(3, FaultPlan::hide_until(5));
+  sim.run_rounds(12);
+  const auto& h = sim.history();
+  for (Round r = 2; r <= h.length(); ++r) {
+    for (int p = 0; p < h.n; ++p) {
+      // Once in the coterie, always in the coterie.
+      EXPECT_LE(h.at(r - 1).coterie[p], h.at(r).coterie[p])
+          << "p=" << p << " r=" << r;
+    }
+  }
+}
+
+TEST(Causality, CoterieChangeRoundsDetected) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.set_fault_plan(2, FaultPlan::hide_until(5));
+  sim.run_rounds(8);
+  EXPECT_EQ(sim.history().coterie_change_rounds(), std::vector<Round>{5});
+  EXPECT_EQ(sim.history().last_coterie_change(), 5);
+}
+
+TEST(Causality, NoChangeWhenCoterieStableFromRoundOne) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.run_rounds(5);
+  EXPECT_TRUE(sim.history().coterie_change_rounds().empty());
+  EXPECT_EQ(sim.history().last_coterie_change(), 0);
+}
+
+TEST(Causality, ManifestedReceiveOmissionShrinksCorrectSetImmediately) {
+  // A receive-deaf process deviates in round 1, so the prefix's correct set
+  // is {0, 1} from the start: they reach each other and are in the coterie.
+  // The deaf process still SENDS, so it reaches all correct processes and is
+  // a coterie member too (Def 2.3 does not require members to be correct,
+  // nor to be influenced by others).
+  FaultPlan deaf;
+  deaf.receive_omissions.push_back(OmissionRule{});
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.set_fault_plan(2, deaf);
+  sim.run_rounds(4);
+  const auto& h = sim.history();
+  EXPECT_TRUE(h.at(1).coterie[0]);
+  EXPECT_TRUE(h.at(1).coterie[1]);
+  EXPECT_TRUE(h.at(4).coterie[2]);
+}
+
+TEST(Causality, CoterieGrowsWhenCorrectSetShrinks) {
+  // A mute process is never in the coterie while any correct process exists
+  // (it reaches nobody).  When every OTHER process crashes, the correct set
+  // of the prefix becomes empty and Def 2.3's universal quantifier is
+  // vacuous: the coterie becomes everyone — membership grew purely because
+  // the correct set shrank.
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.set_fault_plan(1, FaultPlan::mute());
+  sim.set_fault_plan(0, FaultPlan::crash(4));
+  sim.set_fault_plan(2, FaultPlan::crash(4));
+  sim.run_rounds(5);
+  const auto& h = sim.history();
+  EXPECT_FALSE(h.at(3).coterie[1]);
+  EXPECT_TRUE(h.at(4).coterie[1]);
+  EXPECT_EQ(h.at(5).coterie, std::vector<bool>(3, true));
+}
+
+}  // namespace
+}  // namespace ftss

@@ -1,0 +1,83 @@
+// Tests for the systemic-failure (corruption) generators.
+#include "sim/corrupt.h"
+
+#include <gtest/gtest.h>
+
+namespace ftss {
+namespace {
+
+TEST(RandomValue, Deterministic) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(random_value(a, 100), random_value(b, 100));
+  }
+}
+
+TEST(RandomValue, RespectsMagnitudeForIntLeaves) {
+  Rng rng(6);
+  std::function<void(const Value&)> check = [&](const Value& v) {
+    if (v.is_int()) {
+      EXPECT_GE(v.as_int(), -50);
+      EXPECT_LE(v.as_int(), 50);
+    } else if (v.is_array()) {
+      for (const auto& e : v.as_array()) check(e);
+    } else if (v.is_map()) {
+      for (const auto& [k, e] : v.as_map()) check(e);
+    }
+  };
+  for (int i = 0; i < 200; ++i) check(random_value(rng, 50));
+}
+
+TEST(RandomValue, ProducesVariedTypes) {
+  Rng rng(7);
+  bool saw_int = false, saw_string = false, saw_container = false;
+  for (int i = 0; i < 300; ++i) {
+    Value v = random_value(rng, 10);
+    saw_int |= v.is_int();
+    saw_string |= v.is_string();
+    saw_container |= v.is_array() || v.is_map();
+  }
+  EXPECT_TRUE(saw_int);
+  EXPECT_TRUE(saw_string);
+  EXPECT_TRUE(saw_container);
+}
+
+TEST(RandomValue, DepthZeroProducesOnlyLeaves) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    Value v = random_value(rng, 10, /*max_depth=*/0);
+    EXPECT_FALSE(v.is_array() || v.is_map());
+  }
+}
+
+TEST(MutateValue, ZeroProbabilityIsIdentity) {
+  Rng rng(9);
+  Value original = Value::map(
+      {{"c", Value(7)}, {"vals", Value::array({Value(1), Value(2)})}});
+  EXPECT_EQ(mutate_value(original, rng, 0.0, 100), original);
+}
+
+TEST(MutateValue, PreservesStructure) {
+  Rng rng(10);
+  Value original = Value::map(
+      {{"c", Value(7)}, {"vals", Value::array({Value(1), Value(2)})}});
+  Value mutated = mutate_value(original, rng, 1.0, 100);
+  ASSERT_TRUE(mutated.is_map());
+  EXPECT_TRUE(mutated.contains("c"));
+  ASSERT_TRUE(mutated.at("vals").is_array());
+  EXPECT_EQ(mutated.at("vals").size(), 2u);
+}
+
+TEST(MutateValue, FullProbabilityChangesLeavesUsually) {
+  Rng rng(11);
+  Value original = Value::map({{"a", Value(1)}, {"b", Value(2)}, {"c", Value(3)}});
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (mutate_value(original, rng, 1.0, 1'000'000) != original) ++changed;
+  }
+  EXPECT_GT(changed, 45);
+}
+
+}  // namespace
+}  // namespace ftss

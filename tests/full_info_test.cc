@@ -1,0 +1,110 @@
+// Tests for the Figure 2 shell: Π run in its original ft-only form.
+#include "core/full_info.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/floodset.h"
+#include "protocols/reliable_broadcast.h"
+#include "sim/simulator.h"
+
+namespace ftss {
+namespace {
+
+std::vector<std::unique_ptr<SyncProcess>> floodset_system(
+    int n, int f, const std::vector<Value>& inputs) {
+  auto protocol = std::make_shared<FloodSetConsensus>(f);
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(
+        std::make_unique<FullInfoProcess>(p, n, protocol, inputs[p]));
+  }
+  return procs;
+}
+
+const FullInfoProcess& fip(const SyncSimulator& sim, ProcessId p) {
+  return dynamic_cast<const FullInfoProcess&>(sim.process(p));
+}
+
+TEST(FullInfo, RunsExactlyFinalRoundRoundsThenHalts) {
+  const int f = 2;  // final_round = 3
+  SyncSimulator sim(SyncConfig{},
+                    floodset_system(3, f, {Value(5), Value(9), Value(7)}));
+  sim.run_rounds(2);
+  EXPECT_FALSE(fip(sim, 0).halted());
+  sim.run_rounds(1);
+  EXPECT_TRUE(fip(sim, 0).halted());
+  EXPECT_TRUE(fip(sim, 2).halted());
+  // Clock stops at final_round.
+  EXPECT_EQ(fip(sim, 1).round_counter(), std::optional<Round>(3));
+}
+
+TEST(FullInfo, FtSolvesConsensusCleanRun) {
+  SyncSimulator sim(SyncConfig{},
+                    floodset_system(4, 1, {Value(5), Value(9), Value(7), Value(6)}));
+  sim.run_rounds(2);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(fip(sim, p).decision(), Value(5));  // min of inputs
+  }
+}
+
+TEST(FullInfo, FtSolvesConsensusUnderCrashes) {
+  // f = 2, final_round = 3; crash two processes mid-protocol.
+  SyncSimulator sim(SyncConfig{}, floodset_system(5, 2,
+                                                  {Value(5), Value(2), Value(7),
+                                                   Value(6), Value(8)}));
+  sim.set_fault_plan(1, FaultPlan::crash(1));  // input 2 may vanish entirely
+  sim.set_fault_plan(2, FaultPlan::crash(2));
+  sim.run_rounds(3);
+  // All correct processes agree; decision is one of the inputs.
+  const Value d = fip(sim, 0).decision();
+  EXPECT_FALSE(d.is_null());
+  for (ProcessId p : {0, 3, 4}) {
+    EXPECT_EQ(fip(sim, p).decision(), d);
+  }
+  std::set<Value> inputs{Value(5), Value(2), Value(7), Value(6), Value(8)};
+  EXPECT_TRUE(inputs.count(d) == 1);
+}
+
+TEST(FullInfo, SystemicFailureBreaksTerminatingProtocol) {
+  // The motivation for the compiler: corrupt one clock in Π itself and the
+  // halting logic desynchronizes — the corrupted process never halts in
+  // lock-step and agreement can fail.  (Terminating protocols cannot
+  // tolerate systemic failures, [KP90].)
+  SyncSimulator sim(SyncConfig{},
+                    floodset_system(3, 1, {Value(5), Value(9), Value(7)}));
+  Value corrupted;
+  corrupted["s"] = Value::map({{"vals", Value::array({Value(999)})},
+                               {"decision", Value()}});
+  corrupted["c"] = Value(-50);  // far from the real round
+  corrupted["halted"] = Value(false);
+  sim.corrupt_state(0, corrupted);
+  sim.run_rounds(2);
+  // Correct processes halted at final_round, the corrupted one did not.
+  EXPECT_TRUE(fip(sim, 1).halted());
+  EXPECT_FALSE(fip(sim, 0).halted());
+}
+
+TEST(FullInfo, BroadcastProtocolDeliversSourceValue) {
+  auto protocol = std::make_shared<ReliableBroadcastProtocol>(1);
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  for (ProcessId p = 0; p < 3; ++p) {
+    procs.push_back(std::make_unique<FullInfoProcess>(
+        p, 3, protocol, ReliableBroadcastProtocol::make_input(1, Value("m"))));
+  }
+  SyncSimulator sim(SyncConfig{}, std::move(procs));
+  sim.run_rounds(2);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(fip(sim, p).decision(), Value("m"));
+  }
+}
+
+TEST(FullInfo, SnapshotRoundTrips) {
+  auto protocol = std::make_shared<FloodSetConsensus>(1);
+  FullInfoProcess a(0, 3, protocol, Value(5));
+  FullInfoProcess b(0, 3, protocol, Value(6));
+  b.restore_state(a.snapshot_state());
+  EXPECT_EQ(b.snapshot_state(), a.snapshot_state());
+}
+
+}  // namespace
+}  // namespace ftss

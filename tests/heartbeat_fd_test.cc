@@ -1,0 +1,140 @@
+// Tests for the heartbeat failure detector (the ◇W substrate).
+#include "detect/heartbeat_fd.h"
+
+#include <gtest/gtest.h>
+
+namespace ftss {
+namespace {
+
+std::vector<std::unique_ptr<AsyncProcess>> fd_nodes(
+    int n, HeartbeatFdConfig config = {}) {
+  std::vector<std::unique_ptr<AsyncProcess>> v;
+  for (ProcessId p = 0; p < n; ++p) {
+    std::vector<std::unique_ptr<Module>> mods;
+    mods.push_back(std::make_unique<HeartbeatFd>(p, n, config));
+    v.push_back(std::make_unique<ModuleHost>(std::move(mods)));
+  }
+  return v;
+}
+
+const HeartbeatFd& fd(const EventSimulator& sim, ProcessId p) {
+  return *dynamic_cast<const ModuleHost&>(sim.process(p)).find<HeartbeatFd>("hb");
+}
+
+TEST(HeartbeatFd, NoSuspicionsAmongCorrectAfterWarmup) {
+  EventSimulator sim(AsyncConfig{.seed = 1}, fd_nodes(3));
+  sim.run_until(3000);
+  for (ProcessId p = 0; p < 3; ++p) {
+    for (ProcessId s = 0; s < 3; ++s) {
+      EXPECT_FALSE(fd(sim, p).suspects(s)) << p << " suspects " << s;
+    }
+  }
+}
+
+TEST(HeartbeatFd, StrongCompleteness) {
+  EventSimulator sim(AsyncConfig{.seed = 2}, fd_nodes(4));
+  sim.schedule_crash(2, 500);
+  sim.run_until(5000);
+  for (ProcessId p = 0; p < 4; ++p) {
+    if (p == 2) continue;
+    EXPECT_TRUE(fd(sim, p).suspects(2)) << "process " << p;
+  }
+}
+
+TEST(HeartbeatFd, CrashedStaysSuspectedForever) {
+  EventSimulator sim(AsyncConfig{.seed = 3}, fd_nodes(3));
+  sim.schedule_crash(1, 200);
+  sim.run_until(2000);
+  ASSERT_TRUE(fd(sim, 0).suspects(1));
+  sim.run_until(20000);
+  EXPECT_TRUE(fd(sim, 0).suspects(1));
+}
+
+TEST(HeartbeatFd, EventualAccuracyAfterGst) {
+  // Chaotic delays before GST cause false suspicions; the backoff makes them
+  // stop after GST.
+  AsyncConfig config{.seed = 4,
+                     .min_delay = 1,
+                     .max_delay = 15,
+                     .max_delay_pre_gst = 2000,
+                     .gst = 5000};
+  EventSimulator sim(config, fd_nodes(3, HeartbeatFdConfig{.initial_timeout = 30}));
+  sim.run_until(30000);
+  // Sample suspicion stability over a long post-GST window.
+  bool any_suspicion = false;
+  for (Time t = 31000; t <= 60000; t += 500) {
+    sim.run_until(t);
+    for (ProcessId p = 0; p < 3; ++p) {
+      for (ProcessId s = 0; s < 3; ++s) {
+        any_suspicion |= fd(sim, p).suspects(s);
+      }
+    }
+  }
+  EXPECT_FALSE(any_suspicion);
+}
+
+TEST(HeartbeatFd, FalseSuspicionGrowsTimeout) {
+  AsyncConfig config{.seed = 5,
+                     .min_delay = 1,
+                     .max_delay = 10,
+                     .max_delay_pre_gst = 1000,
+                     .gst = 4000};
+  HeartbeatFdConfig fdc{.initial_timeout = 20};
+  EventSimulator sim(config, fd_nodes(2, fdc));
+  sim.run_until(10000);
+  // Pre-GST chaos must have triggered at least one backoff somewhere.
+  EXPECT_GT(fd(sim, 0).timeout_of(1) + fd(sim, 1).timeout_of(0),
+            2 * fdc.initial_timeout);
+}
+
+TEST(HeartbeatFd, RecoversFromCorruptedState) {
+  EventSimulator sim(AsyncConfig{.seed = 6}, fd_nodes(3));
+  Value corrupt;
+  corrupt["hb"] = Value::map(
+      {{"last_heard", Value::array({Value(999999), Value(-5), Value("x")})},
+       {"timeout", Value::array({Value(-7), Value(1'000'000'000), Value()})},
+       {"suspected", Value::array({Value(true), Value(true), Value(true)})}});
+  sim.corrupt_state(0, corrupt);
+  sim.run_until(20000);
+  for (ProcessId s = 0; s < 3; ++s) {
+    EXPECT_FALSE(fd(sim, 0).suspects(s)) << "target " << s;
+  }
+}
+
+TEST(HeartbeatFd, TimeoutClampBoundsCorruption) {
+  HeartbeatFd fd_local(0, 2, HeartbeatFdConfig{.max_timeout = 500});
+  Value state;
+  state["timeout"] = Value::array({Value(1), Value(1'000'000'000)});
+  fd_local.restore(state);
+  EXPECT_LE(fd_local.timeout_of(1), 500);
+  EXPECT_GE(fd_local.timeout_of(0), 1);
+}
+
+TEST(HeartbeatFd, NeverSuspectsSelf) {
+  EventSimulator sim(AsyncConfig{.seed = 7}, fd_nodes(2));
+  Value corrupt;
+  corrupt["hb"] = Value::map(
+      {{"suspected", Value::array({Value(true), Value(true)})}});
+  sim.corrupt_state(0, corrupt);
+  sim.run_until(100);
+  EXPECT_FALSE(fd(sim, 0).suspects(0));
+}
+
+TEST(WeakView, ExposesSuspicionOnlyAtWitness) {
+  HeartbeatFd local(0, 4);
+  Value state;
+  state["suspected"] =
+      Value::array({Value(false), Value(true), Value(true), Value(true)});
+  local.restore(state);
+  // Process 0 is the witness of process 3 (witness = s+1 mod n).
+  auto weak = weak_view(&local, /*self=*/0, 4);
+  EXPECT_TRUE(weak(3));
+  EXPECT_FALSE(weak(1));  // witness of 1 is 2, not 0
+  EXPECT_FALSE(weak(2));
+  auto full = full_view(&local);
+  EXPECT_TRUE(full(1));
+  EXPECT_TRUE(full(2));
+}
+
+}  // namespace
+}  // namespace ftss

@@ -1,0 +1,77 @@
+// Tests for the history pretty-printer.
+#include "sim/history_dump.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace ftss {
+namespace {
+
+using testing::clock_state;
+using testing::round_agreement_system;
+
+History make_history() {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.corrupt_state(1, clock_state(50));
+  sim.set_fault_plan(2, FaultPlan::crash(3));
+  sim.run_rounds(4);
+  return sim.history();
+}
+
+TEST(HistoryDump, RendersClockRows) {
+  auto text = history_to_string(make_history());
+  EXPECT_NE(text.find("round |"), std::string::npos);
+  EXPECT_NE(text.find("50"), std::string::npos);   // corrupted clock visible
+  EXPECT_NE(text.find("crashed"), std::string::npos);
+}
+
+TEST(HistoryDump, ShowsCoterieAndFaulty) {
+  auto text = history_to_string(make_history());
+  EXPECT_NE(text.find("{012}"), std::string::npos);  // full coterie
+  EXPECT_NE(text.find("| {2}"), std::string::npos);  // crashed process faulty
+}
+
+TEST(HistoryDump, RangeSelection) {
+  DumpOptions options;
+  options.from_round = 2;
+  options.to_round = 2;
+  auto text = history_to_string(make_history(), options);
+  // Exactly one data row (plus the header line).
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("    2 |"), std::string::npos);
+}
+
+TEST(HistoryDump, SendDetailsOptIn) {
+  DumpOptions quiet;
+  EXPECT_EQ(history_to_string(make_history(), quiet).find("->"),
+            std::string::npos);
+  DumpOptions verbose;
+  verbose.show_sends = true;
+  auto text = history_to_string(make_history(), verbose);
+  EXPECT_NE(text.find("0 -> 1 delivered"), std::string::npos);
+  EXPECT_NE(text.find("LOST (dest crashed)"), std::string::npos);
+}
+
+TEST(HistoryDump, HaltedMarkerShown) {
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  for (ProcessId p = 0; p < 2; ++p) {
+    procs.push_back(std::make_unique<UniformRoundAgreementProcess>(p));
+  }
+  SyncSimulator sim(SyncConfig{}, std::move(procs));
+  sim.corrupt_state(0, clock_state(9));
+  sim.run_rounds(3);
+  auto text = history_to_string(sim.history());
+  EXPECT_NE(text.find("halted"), std::string::npos);
+}
+
+TEST(HistoryDump, EmptyHistoryJustHeader) {
+  History h;
+  h.n = 2;
+  auto text = history_to_string(h);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace ftss

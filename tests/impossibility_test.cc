@@ -1,0 +1,180 @@
+// Executable renditions of the paper's impossibility results.
+//
+// Theorem 1: under Tentative Definition 1 (no coterie excuse), no protocol
+// has a finite stabilization time — a faulty process can hide for an
+// arbitrary number of rounds and its reveal forces correct processes to
+// violate Assumption 1's rate condition at that (unbounded) time.
+//
+// Theorem 2: a *uniform* protocol (Assumption 2: faulty processes self-check
+// and halt) cannot ftss-solve anything — after a systemic failure the
+// self-check halts correct processes, permanently violating Assumption 1.
+#include <gtest/gtest.h>
+
+#include "core/predicates.h"
+#include "core/round_agreement.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace ftss {
+namespace {
+
+using testing::clock_state;
+using testing::round_agreement_system;
+
+std::vector<std::unique_ptr<SyncProcess>> uniform_system(int n) {
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<UniformRoundAgreementProcess>(p));
+  }
+  return procs;
+}
+
+// --- Theorem 1 --------------------------------------------------------------
+
+class Theorem1Reveal : public ::testing::TestWithParam<Round> {};
+
+TEST_P(Theorem1Reveal, RevealForcesRateViolationAtUnboundedTime) {
+  const Round reveal = GetParam();
+  SyncSimulator sim(SyncConfig{.seed = 1, .record_states = false},
+                    round_agreement_system(2));
+  // Systemic failure: the hiding process q starts with a much larger round
+  // variable; omission failures keep p and q from communicating in the
+  // prefix (the proof's H').
+  sim.corrupt_state(1, clock_state(10'000'000));
+  sim.set_fault_plan(1, FaultPlan::hide_until(reveal));
+  sim.run_rounds(static_cast<int>(reveal) + 5);
+  const auto& h = sim.history();
+  const auto faulty = h.faulty();
+
+  // The correct process obeys the rate condition right up to the reveal...
+  EXPECT_TRUE(rate_violation_rounds(h, 1, reveal - 1, faulty).empty());
+  // ...and is forced to violate it exactly when the hidden process reveals:
+  // for ANY candidate stabilization time r < reveal, Sigma fails after the
+  // r-suffix begins, so no finite r works under Tentative Definition 1.
+  EXPECT_EQ(rate_violation_rounds(h, 1, h.length(), faulty),
+            std::vector<Round>{reveal});
+
+  // Under Definition 2.4 the same history is fine: the reveal is a coterie
+  // change, and one round later everything is stable again (Theorem 3).
+  EXPECT_EQ(h.last_coterie_change(), reveal);
+  EXPECT_TRUE(check_round_agreement_ftss(h, 1).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(RevealRounds, Theorem1Reveal,
+                         ::testing::Values<Round>(2, 3, 5, 8, 16, 32, 64, 128,
+                                                  256),
+                         [](const ::testing::TestParamInfo<Round>& info) {
+                           return "reveal" + std::to_string(info.param);
+                         });
+
+TEST(Theorem1, ScenarioSymmetryBothAttributions) {
+  // The same communication pattern is consistent with "q faulty" (q omits
+  // sends) and with "p faulty" (p omits receives).  Build both histories and
+  // confirm they produce identical clock traces for the non-communication
+  // prefix — the indistinguishability the proof exploits.
+  const Round horizon = 6;
+
+  SyncSimulator blame_q(SyncConfig{}, round_agreement_system(2));
+  blame_q.corrupt_state(1, clock_state(500));
+  blame_q.set_fault_plan(1, FaultPlan::mute());
+  blame_q.run_rounds(static_cast<int>(horizon));
+
+  FaultPlan deaf;  // p drops every receive: same observable silence
+  deaf.receive_omissions.push_back(OmissionRule{});
+  SyncSimulator blame_p(SyncConfig{}, round_agreement_system(2));
+  blame_p.corrupt_state(1, clock_state(500));
+  blame_p.set_fault_plan(0, deaf);
+  blame_p.run_rounds(static_cast<int>(horizon));
+
+  for (Round r = 1; r <= horizon; ++r) {
+    EXPECT_EQ(blame_q.history().at(r).clock[0], blame_p.history().at(r).clock[0]);
+    EXPECT_EQ(blame_q.history().at(r).clock[1], blame_p.history().at(r).clock[1]);
+  }
+  // Yet the faulty sets differ — Sigma's obligations attach to different
+  // processes in the two explanations.
+  EXPECT_EQ(blame_q.history().faulty(), (std::vector<bool>{false, true}));
+  EXPECT_EQ(blame_p.history().faulty(), (std::vector<bool>{true, false}));
+}
+
+// --- Theorem 2 --------------------------------------------------------------
+
+TEST(Theorem2, UniformProtocolHaltsCorrectProcessAfterCorruption) {
+  // Both processes are CORRECT; a systemic failure desynchronized their
+  // round variables.  The uniform protocol's self-check halts them — and a
+  // halted correct process can never again satisfy Assumption 1.
+  SyncSimulator sim(SyncConfig{}, uniform_system(2));
+  sim.corrupt_state(0, clock_state(100));
+  sim.run_rounds(5);
+  const auto& h = sim.history();
+  const auto faulty = h.faulty();
+  EXPECT_EQ(faulty, (std::vector<bool>{false, false}));
+
+  EXPECT_TRUE(h.at(2).halted[0]);
+  EXPECT_TRUE(h.at(2).halted[1]);
+  // Agreement is violated from the halt onwards, in a coterie-stable window:
+  // the uniform protocol does NOT ftss-solve round agreement for any finite
+  // stabilization time representable in this history.
+  EXPECT_TRUE(h.coterie_change_rounds().empty());
+  for (Round stab = 0; stab < h.length(); ++stab) {
+    EXPECT_FALSE(check_round_agreement_ftss(h, stab).ok) << "stab=" << stab;
+  }
+}
+
+TEST(Theorem2, NonUniformProtocolRecoversFromSameScenario) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(2));
+  sim.corrupt_state(0, clock_state(100));
+  sim.run_rounds(5);
+  EXPECT_TRUE(check_round_agreement_ftss(sim.history(), 1).ok);
+}
+
+TEST(Theorem2, UniformProtocolIsFineWithoutSystemicFailures) {
+  // Without corruption the self-checking protocol behaves like Figure 1 —
+  // the technique is only fatal when combined with systemic failures.
+  SyncSimulator sim(SyncConfig{}, uniform_system(3));
+  sim.run_rounds(5);
+  const auto& h = sim.history();
+  for (Round r = 1; r <= 5; ++r) {
+    EXPECT_FALSE(h.at(r).halted[0]);
+    EXPECT_TRUE(clocks_agree_at(h, r, h.faulty()));
+  }
+}
+
+TEST(Theorem2, UniformityPredicateSatisfiedByHaltingFaulty) {
+  // The uniform protocol does enforce Assumption 2 against *process*
+  // failures: a faulty process that disagrees halts itself.
+  SyncSimulator sim(SyncConfig{}, uniform_system(3));
+  sim.corrupt_state(2, clock_state(500));
+  sim.set_fault_plan(2, FaultPlan::lossy(1.0, 0.0));  // q's sends all drop
+  sim.run_rounds(4);
+  const auto& h = sim.history();
+  std::vector<bool> faulty{false, false, true};
+  // q hears the correct clocks, self-checks, halts; thereafter uniformity
+  // holds at every round.
+  EXPECT_TRUE(h.at(3).halted[2]);
+  EXPECT_TRUE(uniformity_holds_at(h, 3, faulty));
+  EXPECT_TRUE(uniformity_holds_at(h, 4, faulty));
+}
+
+class Theorem2Magnitude : public ::testing::TestWithParam<Round> {};
+
+TEST_P(Theorem2Magnitude, AnyDisagreementMagnitudeIsFatal) {
+  SyncSimulator sim(SyncConfig{}, uniform_system(4));
+  sim.corrupt_state(0, clock_state(GetParam()));
+  sim.run_rounds(6);
+  const auto& h = sim.history();
+  EXPECT_TRUE(h.at(3).halted[0]);
+  EXPECT_FALSE(check_round_agreement_ftss(h, 2).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, Theorem2Magnitude,
+                         ::testing::Values<Round>(2, 10, 1000, 1'000'000,
+                                                  -50),
+                         [](const ::testing::TestParamInfo<Round>& info) {
+                           return "c0_" +
+                                  (info.param < 0
+                                       ? "neg" + std::to_string(-info.param)
+                                       : std::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace ftss

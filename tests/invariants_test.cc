@@ -1,0 +1,165 @@
+// Cross-cutting safety invariants, sampled over time while the systems run
+// under churn.  These are the properties the correctness arguments lean on;
+// each is checked continuously rather than only at the end.
+#include <gtest/gtest.h>
+
+#include "consensus/harness.h"
+#include "core/round_agreement.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ftss {
+namespace {
+
+using testing::round_agreement_system;
+
+TEST(Invariants, SyncHistoryIndependentOfStateRecording) {
+  // record_states only affects observability, never behavior.
+  auto run = [](bool record) {
+    SyncSimulator sim(SyncConfig{.seed = 5, .record_states = record},
+                      round_agreement_system(4));
+    sim.corrupt_state(1, testing::clock_state(777));
+    sim.set_fault_plan(3, FaultPlan::lossy(0.4, 0.2));
+    sim.run_rounds(25);
+    std::vector<std::optional<Round>> clocks;
+    for (const auto& rec : sim.history().rounds) {
+      for (const auto& c : rec.clock) clocks.push_back(c);
+    }
+    return clocks;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Invariants, FaultyByNowIsMonotone) {
+  SyncSimulator sim(SyncConfig{.seed = 6}, round_agreement_system(5));
+  sim.set_fault_plan(1, FaultPlan::lossy(0.3, 0.3));
+  sim.set_fault_plan(2, FaultPlan::crash(8));
+  sim.set_fault_plan(4, FaultPlan::hide_until(12));
+  sim.run_rounds(25);
+  const auto& h = sim.history();
+  for (Round r = 2; r <= h.length(); ++r) {
+    for (int p = 0; p < h.n; ++p) {
+      EXPECT_LE(h.at(r - 1).faulty_by_now[p], h.at(r).faulty_by_now[p]);
+    }
+  }
+}
+
+TEST(Invariants, FaultyOnlyIfPlanned) {
+  // A process with no fault plan never manifests as faulty, no matter what
+  // corruption it started from (§2.1: corruption does not make it faulty).
+  Rng rng(7);
+  SyncSimulator sim(SyncConfig{.seed = 7}, round_agreement_system(4));
+  for (int p = 0; p < 4; ++p) {
+    sim.corrupt_state(p, testing::clock_state(rng.uniform(-9999, 9999)));
+  }
+  sim.set_fault_plan(2, FaultPlan::mute());
+  sim.run_rounds(20);
+  EXPECT_EQ(sim.history().faulty(), (std::vector<bool>{false, false, true, false}));
+}
+
+TEST(Invariants, GossipFdCountersNeverDecrease) {
+  // Monotone counters are Figure 4's whole mechanism; sample them along the
+  // run, through crashes and corrupted starts.
+  ConsensusSystemConfig config;
+  config.n = 4;
+  config.async.seed = 8;
+  for (int p = 0; p < 4; ++p) config.inputs.push_back(Value(p));
+  auto sim = build_consensus_system(config);
+  Rng rng(8);
+  for (ProcessId p = 0; p < 4; ++p) {
+    sim->corrupt_state(
+        p, make_corrupt_state(CorruptionPattern::kDetector, p, 4, rng));
+  }
+  sim->schedule_crash(2, 900);
+
+  std::vector<std::vector<std::int64_t>> last(4,
+                                              std::vector<std::int64_t>(4, 0));
+  for (Time t = 100; t <= 10000; t += 100) {
+    sim->run_until(t);
+    for (ProcessId p = 0; p < 4; ++p) {
+      if (sim->crashed(p)) continue;
+      const auto* gfd = strong_fd_view(*sim, p);
+      for (ProcessId s = 0; s < 4; ++s) {
+        EXPECT_GE(gfd->num(s), last[p][s]) << "p=" << p << " s=" << s;
+        last[p][s] = gfd->num(s);
+      }
+    }
+  }
+}
+
+TEST(Invariants, ConsensusTimestampMonotoneAndDecisionStable) {
+  // The (est, ts) majority-locking core: a process's timestamp never goes
+  // backwards, and a decision never changes once made.
+  ConsensusSystemConfig config;
+  config.n = 5;
+  config.async.seed = 9;
+  for (int p = 0; p < 5; ++p) config.inputs.push_back(Value(100 + p));
+  auto sim = build_consensus_system(config);
+  sim->schedule_crash(0, 300);
+
+  std::vector<std::int64_t> last_ts(5, 0);
+  std::vector<std::optional<Value>> first_decision(5);
+  for (Time t = 50; t <= 20000; t += 50) {
+    sim->run_until(t);
+    for (ProcessId p = 0; p < 5; ++p) {
+      if (sim->crashed(p)) continue;
+      const auto* cons = consensus_view(*sim, p);
+      EXPECT_GE(cons->timestamp(), last_ts[p]) << "p=" << p << " t=" << t;
+      last_ts[p] = cons->timestamp();
+      if (cons->decided()) {
+        if (!first_decision[p]) {
+          first_decision[p] = cons->decision();
+        } else {
+          EXPECT_EQ(cons->decision(), *first_decision[p]) << "p=" << p;
+        }
+      }
+    }
+  }
+  for (ProcessId p = 1; p < 5; ++p) {
+    ASSERT_TRUE(first_decision[p].has_value()) << "p=" << p;
+  }
+}
+
+TEST(Invariants, RepeatedInstanceCounterMonotone) {
+  ConsensusSystemConfig config;
+  config.n = 3;
+  config.async.seed = 10;
+  InputSource inputs = [](ProcessId p, std::int64_t i) {
+    return Value(i * 10 + p);
+  };
+  auto sim = build_repeated_consensus_system(config, inputs);
+  std::vector<std::int64_t> last(3, -1);
+  for (Time t = 200; t <= 15000; t += 200) {
+    sim->run_until(t);
+    for (ProcessId p = 0; p < 3; ++p) {
+      EXPECT_GE(repeated_view(*sim, p)->instance(), last[p]);
+      last[p] = repeated_view(*sim, p)->instance();
+    }
+  }
+  EXPECT_GT(last[0], 10);  // and it actually advances
+}
+
+TEST(Invariants, DecisionLogAppendOnly) {
+  ConsensusSystemConfig config;
+  config.n = 3;
+  config.async.seed = 11;
+  InputSource inputs = [](ProcessId p, std::int64_t i) {
+    return Value(i * 10 + p);
+  };
+  auto sim = build_repeated_consensus_system(config, inputs);
+  std::vector<AsyncDecision> snapshot;
+  for (Time t = 500; t <= 10000; t += 500) {
+    sim->run_until(t);
+    const auto& log = repeated_view(*sim, 1)->decisions();
+    ASSERT_GE(log.size(), snapshot.size());
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      EXPECT_EQ(log[i].instance, snapshot[i].instance);
+      EXPECT_EQ(log[i].value, snapshot[i].value);
+    }
+    snapshot.assign(log.begin(), log.end());
+  }
+}
+
+}  // namespace
+}  // namespace ftss

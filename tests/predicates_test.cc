@@ -1,0 +1,193 @@
+// Tests for the Σ-predicate checkers (Assumptions 1-2, Definition 2.4).
+#include "core/predicates.h"
+
+#include <gtest/gtest.h>
+
+#include "core/round_agreement.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace ftss {
+namespace {
+
+using testing::clock_state;
+using testing::round_agreement_system;
+
+TEST(Predicates, AgreementHoldsOnCleanRun) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.run_rounds(3);
+  const auto faulty = sim.history().faulty();
+  for (Round r = 1; r <= 3; ++r) {
+    EXPECT_TRUE(clocks_agree_at(sim.history(), r, faulty));
+  }
+}
+
+TEST(Predicates, AgreementFailsWithCorruptedClock) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.corrupt_state(1, clock_state(99));
+  sim.run_rounds(2);
+  const auto faulty = sim.history().faulty();
+  EXPECT_FALSE(clocks_agree_at(sim.history(), 1, faulty));
+  EXPECT_TRUE(clocks_agree_at(sim.history(), 2, faulty));
+}
+
+TEST(Predicates, AgreementIgnoresFaultyClocks) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.corrupt_state(1, clock_state(99));
+  sim.set_fault_plan(1, FaultPlan::mute());
+  sim.run_rounds(2);
+  std::vector<bool> faulty{false, true, false};
+  EXPECT_TRUE(clocks_agree_at(sim.history(), 1, faulty));
+}
+
+TEST(Predicates, RateHoldsOnCleanRun) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.run_rounds(4);
+  const auto faulty = sim.history().faulty();
+  for (Round r = 1; r < 4; ++r) {
+    EXPECT_TRUE(rate_holds_between(sim.history(), r, faulty));
+  }
+}
+
+TEST(Predicates, RateViolationDetectedOnJump) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(2));
+  sim.corrupt_state(0, clock_state(100));
+  sim.run_rounds(3);
+  const auto faulty = sim.history().faulty();
+  // Process 1 jumps 1 -> 101 between rounds 1 and 2.
+  EXPECT_FALSE(rate_holds_between(sim.history(), 1, faulty));
+  EXPECT_TRUE(rate_holds_between(sim.history(), 2, faulty));
+  EXPECT_EQ(rate_violation_rounds(sim.history(), 1, 3, faulty),
+            std::vector<Round>{1});
+}
+
+TEST(Predicates, RateBeyondHistoryIsFalse) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(2));
+  sim.run_rounds(2);
+  EXPECT_FALSE(rate_holds_between(sim.history(), 2, sim.history().faulty()));
+}
+
+TEST(Predicates, CoterieIntervalsPartitionHistory) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.set_fault_plan(2, FaultPlan::hide_until(4));
+  sim.run_rounds(8);
+  auto intervals = coterie_intervals(sim.history());
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0].begin, 1);
+  EXPECT_EQ(intervals[0].end, 3);
+  EXPECT_EQ(intervals[1].begin, 4);
+  EXPECT_EQ(intervals[1].end, 8);
+  EXPECT_FALSE(intervals[0].coterie[2]);
+  EXPECT_TRUE(intervals[1].coterie[2]);
+}
+
+TEST(Predicates, CheckFtssSkipsShortIntervals) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(2));
+  sim.corrupt_state(0, clock_state(10));
+  sim.run_rounds(2);
+  // With a stabilization time longer than the history, nothing is required.
+  EXPECT_TRUE(check_round_agreement_ftss(sim.history(), 100).ok);
+}
+
+TEST(Predicates, CheckFtssReportsViolationLocation) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(2));
+  sim.corrupt_state(0, clock_state(10));
+  sim.run_rounds(4);
+  auto result = check_round_agreement_ftss(sim.history(), 0);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("window"), std::string::npos);
+}
+
+TEST(Predicates, UniformityHoldsWhenFaultyHalted) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.set_fault_plan(2, FaultPlan::crash(1));
+  sim.run_rounds(2);
+  std::vector<bool> faulty{false, false, true};
+  EXPECT_TRUE(uniformity_holds_at(sim.history(), 2, faulty));
+}
+
+TEST(Predicates, UniformityFailsWhenFaultyClockDiverges) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.corrupt_state(2, clock_state(500));
+  sim.set_fault_plan(2, FaultPlan::mute());
+  sim.run_rounds(1);
+  std::vector<bool> faulty{false, false, true};
+  // Round 1: faulty process 2 is alive, un-halted, with clock 500 vs 1.
+  EXPECT_FALSE(uniformity_holds_at(sim.history(), 1, faulty));
+}
+
+TEST(Predicates, MeasureCleanRunStabilizesImmediately) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.run_rounds(5);
+  auto m = measure_round_agreement(sim.history());
+  EXPECT_EQ(m.last_coterie_change, 0);
+  ASSERT_TRUE(m.stable_from.has_value());
+  EXPECT_EQ(*m.stable_from, 1);
+  EXPECT_EQ(m.time(), std::optional<Round>(0));
+}
+
+TEST(Predicates, MeasureCorruptedRunStabilizesInOneRound) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.corrupt_state(0, clock_state(7));
+  sim.run_rounds(5);
+  auto m = measure_round_agreement(sim.history());
+  EXPECT_EQ(m.time(), std::optional<Round>(1));
+}
+
+TEST(Predicates, MeasureRelativeToLastCoterieChange) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.corrupt_state(2, clock_state(1000));
+  sim.set_fault_plan(2, FaultPlan::hide_until(5));
+  sim.run_rounds(10);
+  auto m = measure_round_agreement(sim.history());
+  EXPECT_EQ(m.last_coterie_change, 5);
+  ASSERT_TRUE(m.time().has_value());
+  EXPECT_LE(*m.time(), 1);
+}
+
+TEST(Predicates, SsSolvesHoldsUnderPureCorruption) {
+  // Definition 2.2: with systemic failures only, Figure 1 ss-solves round
+  // agreement with stabilization time 1.
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(4));
+  sim.corrupt_state(0, clock_state(5000));
+  sim.corrupt_state(2, clock_state(-3));
+  sim.run_rounds(10);
+  EXPECT_FALSE(check_round_agreement_ss(sim.history(), 0).ok);
+  EXPECT_TRUE(check_round_agreement_ss(sim.history(), 1).ok);
+}
+
+TEST(Predicates, SsSolvesFailsUnderProcessFailures) {
+  // ...but the pure self-stabilization contract (F = {} on the suffix)
+  // cannot absorb process failures: a late-revealing faulty process breaks
+  // the no-faults suffix for every stabilization time that precedes its
+  // reveal.  This is exactly why the paper needs Definition 2.4.
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.corrupt_state(2, clock_state(4000));
+  sim.set_fault_plan(2, FaultPlan::hide_until(8));
+  sim.run_rounds(12);
+  for (Round stab : {Round{1}, Round{3}, Round{6}}) {
+    EXPECT_FALSE(check_round_agreement_ss(sim.history(), stab).ok)
+        << "stab=" << stab;
+  }
+  // The unified definition handles the same history.
+  EXPECT_TRUE(check_round_agreement_ftss(sim.history(), 1).ok);
+}
+
+TEST(Predicates, SsCheckVacuousWhenSuffixEmpty) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(2));
+  sim.corrupt_state(0, clock_state(9));
+  sim.run_rounds(3);
+  EXPECT_TRUE(check_round_agreement_ss(sim.history(), 50).ok);
+}
+
+TEST(Predicates, MeasureNeverStableWhenDisruptionAtEnd) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(2));
+  sim.corrupt_state(0, clock_state(10));
+  sim.run_rounds(1);  // only the disagreeing round recorded
+  auto m = measure_round_agreement(sim.history());
+  EXPECT_FALSE(m.stable_from.has_value());
+  EXPECT_FALSE(m.time().has_value());
+}
+
+}  // namespace
+}  // namespace ftss

@@ -1,0 +1,94 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ftss {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1'000'000) != b.uniform(0, 1'000'000)) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformSinglePointRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform(9, 9), 9);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SampleReturnsDistinctInRange) {
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = rng.sample(10, 4);
+    ASSERT_EQ(s.size(), 4u);
+    std::set<int> distinct(s.begin(), s.end());
+    EXPECT_EQ(distinct.size(), 4u);
+    for (int v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 10);
+    }
+  }
+}
+
+TEST(Rng, SampleFullPopulationIsPermutation) {
+  Rng rng(7);
+  auto s = rng.sample(6, 6);
+  std::set<int> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 6u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(8);
+  Rng child = parent.fork();
+  // The child stream should not replay the parent's continuation.
+  Rng parent2(8);
+  (void)parent2.fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.uniform(0, 1'000'000) == parent.uniform(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+}  // namespace
+}  // namespace ftss

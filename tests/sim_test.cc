@@ -1,0 +1,263 @@
+// Unit tests for the synchronous round simulator: lock-step delivery, fault
+// injection semantics, self-delivery guarantee, history recording,
+// determinism.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ftss {
+namespace {
+
+using testing::clock_state;
+using testing::round_agreement_system;
+
+// A probe process that records everything it sees and broadcasts its id.
+class ProbeProcess : public SyncProcess {
+ public:
+  explicit ProbeProcess(ProcessId self) : self_(self) {}
+
+  void begin_round(Outbox& out) override {
+    Value m;
+    m["from"] = Value(static_cast<std::int64_t>(self_));
+    out.broadcast(std::move(m));
+    ++rounds_started_;
+  }
+
+  void end_round(const std::vector<Message>& delivered) override {
+    last_senders_.clear();
+    for (const auto& m : delivered) last_senders_.push_back(m.sender);
+    ++rounds_ended_;
+  }
+
+  Value snapshot_state() const override {
+    Value v;
+    v["rounds"] = Value(rounds_ended_);
+    return v;
+  }
+  void restore_state(const Value& state) override {
+    rounds_ended_ = state.at("rounds").int_or(0);
+  }
+
+  ProcessId self_;
+  std::int64_t rounds_started_ = 0;
+  std::int64_t rounds_ended_ = 0;
+  std::vector<ProcessId> last_senders_;
+};
+
+std::vector<std::unique_ptr<SyncProcess>> probes(int n) {
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  for (int p = 0; p < n; ++p) procs.push_back(std::make_unique<ProbeProcess>(p));
+  return procs;
+}
+
+const ProbeProcess& probe(const SyncSimulator& sim, ProcessId p) {
+  return dynamic_cast<const ProbeProcess&>(sim.process(p));
+}
+
+TEST(SyncSimulator, AllToAllDeliveryInOneRound) {
+  SyncSimulator sim(SyncConfig{}, probes(4));
+  sim.run_rounds(1);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(probe(sim, p).last_senders_, (std::vector<ProcessId>{0, 1, 2, 3}));
+  }
+}
+
+TEST(SyncSimulator, DeliveriesSortedBySender) {
+  SyncSimulator sim(SyncConfig{}, probes(5));
+  sim.run_rounds(3);
+  auto senders = probe(sim, 2).last_senders_;
+  EXPECT_TRUE(std::is_sorted(senders.begin(), senders.end()));
+}
+
+TEST(SyncSimulator, CrashedProcessSendsNothingAndIsNotDelivered) {
+  SyncSimulator sim(SyncConfig{}, probes(3));
+  sim.set_fault_plan(1, FaultPlan::crash(2));
+  sim.run_rounds(3);
+  // Round 1: everyone hears 0,1,2.  Rounds 2..: no messages from 1.
+  EXPECT_EQ(probe(sim, 0).last_senders_, (std::vector<ProcessId>{0, 2}));
+  // The crashed process stops taking steps entirely.
+  EXPECT_EQ(probe(sim, 1).rounds_started_, 1);
+  EXPECT_EQ(probe(sim, 1).rounds_ended_, 1);
+}
+
+TEST(SyncSimulator, CrashAtRoundOneMeansNoStepsEver) {
+  SyncSimulator sim(SyncConfig{}, probes(3));
+  sim.set_fault_plan(0, FaultPlan::crash(1));
+  sim.run_rounds(2);
+  EXPECT_EQ(probe(sim, 0).rounds_started_, 0);
+  EXPECT_EQ(probe(sim, 2).last_senders_, (std::vector<ProcessId>{1, 2}));
+}
+
+TEST(SyncSimulator, SendOmissionDropsRemoteButNeverSelf) {
+  SyncSimulator sim(SyncConfig{}, probes(3));
+  sim.set_fault_plan(1, FaultPlan::mute());
+  sim.run_rounds(2);
+  EXPECT_EQ(probe(sim, 0).last_senders_, (std::vector<ProcessId>{0, 2}));
+  // Footnote 1: even a faulty process receives its own broadcast.
+  EXPECT_EQ(probe(sim, 1).last_senders_, (std::vector<ProcessId>{0, 1, 2}));
+}
+
+TEST(SyncSimulator, ReceiveOmissionDropsRemoteButNeverSelf) {
+  SyncSimulator sim(SyncConfig{}, probes(3));
+  sim.set_fault_plan(1, FaultPlan::lossy(0.0, 1.0));
+  sim.run_rounds(2);
+  EXPECT_EQ(probe(sim, 1).last_senders_, (std::vector<ProcessId>{1}));
+  // Others are unaffected; 1's sends still go out.
+  EXPECT_EQ(probe(sim, 0).last_senders_, (std::vector<ProcessId>{0, 1, 2}));
+}
+
+TEST(SyncSimulator, TargetedOmissionRule) {
+  FaultPlan plan;
+  plan.send_omissions.push_back(OmissionRule{.peer = 2});
+  SyncSimulator sim(SyncConfig{}, probes(4));
+  sim.set_fault_plan(0, plan);
+  sim.run_rounds(1);
+  EXPECT_EQ(probe(sim, 2).last_senders_, (std::vector<ProcessId>{1, 2, 3}));
+  EXPECT_EQ(probe(sim, 1).last_senders_, (std::vector<ProcessId>{0, 1, 2, 3}));
+}
+
+TEST(SyncSimulator, WindowedOmissionRule) {
+  FaultPlan plan;
+  plan.send_omissions.push_back(OmissionRule{.from_round = 2, .to_round = 2});
+  SyncSimulator sim(SyncConfig{}, probes(2));
+  sim.set_fault_plan(0, plan);
+  sim.run_rounds(3);
+  const auto& h = sim.history();
+  // Round 1 and 3 delivered; round 2 dropped for the remote destination.
+  auto delivered_to_1 = [&](Round r) {
+    for (const auto& s : h.at(r).sends) {
+      if (s.sender == 0 && s.dest == 1) return s.delivered;
+    }
+    return false;
+  };
+  EXPECT_TRUE(delivered_to_1(1));
+  EXPECT_FALSE(delivered_to_1(2));
+  EXPECT_TRUE(delivered_to_1(3));
+}
+
+TEST(SyncSimulator, HideUntilRevealsAtGivenRound) {
+  SyncSimulator sim(SyncConfig{}, probes(2));
+  sim.set_fault_plan(0, FaultPlan::hide_until(3));
+  sim.run_rounds(4);
+  const auto& h = sim.history();
+  auto from0 = [&](Round r) {
+    for (const auto& s : h.at(r).sends) {
+      if (s.sender == 0 && s.dest == 1) return s.delivered;
+    }
+    return false;
+  };
+  EXPECT_FALSE(from0(1));
+  EXPECT_FALSE(from0(2));
+  EXPECT_TRUE(from0(3));
+}
+
+TEST(SyncSimulator, HistoryRecordsStatesAndClocks) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(3));
+  sim.corrupt_state(1, clock_state(10));
+  sim.run_rounds(2);
+  const auto& h = sim.history();
+  ASSERT_EQ(h.length(), 2);
+  EXPECT_EQ(h.at(1).clock[0], std::optional<Round>(1));
+  EXPECT_EQ(h.at(1).clock[1], std::optional<Round>(10));
+  EXPECT_EQ(h.at(1).state[1].at("c").as_int(), 10);
+}
+
+TEST(SyncSimulator, FaultManifestationIsTracked) {
+  SyncSimulator sim(SyncConfig{}, probes(3));
+  sim.set_fault_plan(2, FaultPlan::hide_until(3));
+  sim.run_rounds(4);
+  const auto& h = sim.history();
+  EXPECT_TRUE(h.at(1).faulty_by_now[2]);
+  EXPECT_FALSE(h.at(1).faulty_by_now[0]);
+  EXPECT_EQ(h.faulty(), (std::vector<bool>{false, false, true}));
+}
+
+TEST(SyncSimulator, CorruptionDoesNotMakeFaulty) {
+  SyncSimulator sim(SyncConfig{}, round_agreement_system(2));
+  sim.corrupt_state(0, clock_state(12345));
+  sim.run_rounds(3);
+  EXPECT_EQ(sim.history().faulty(), (std::vector<bool>{false, false}));
+}
+
+TEST(SyncSimulator, DeterministicUnderSeed) {
+  auto run = [](std::uint64_t seed) {
+    SyncSimulator sim(SyncConfig{.seed = seed}, probes(4));
+    sim.set_fault_plan(1, FaultPlan::lossy(0.4, 0.2));
+    sim.run_rounds(20);
+    std::vector<bool> delivered;
+    for (const auto& rr : sim.history().rounds) {
+      for (const auto& s : rr.sends) delivered.push_back(s.delivered);
+    }
+    return delivered;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(SyncSimulator, ProbabilisticOmissionDropsSomeNotAll) {
+  SyncSimulator sim(SyncConfig{.seed = 9}, probes(2));
+  sim.set_fault_plan(0, FaultPlan::lossy(0.5, 0.0));
+  sim.run_rounds(100);
+  int delivered = 0;
+  int total = 0;
+  for (const auto& rr : sim.history().rounds) {
+    for (const auto& s : rr.sends) {
+      if (s.sender == 0 && s.dest == 1) {
+        ++total;
+        delivered += s.delivered ? 1 : 0;
+      }
+    }
+  }
+  EXPECT_EQ(total, 100);
+  EXPECT_GT(delivered, 20);
+  EXPECT_LT(delivered, 80);
+}
+
+TEST(SyncSimulator, IncrementalRunsContinueActualRounds) {
+  SyncSimulator sim(SyncConfig{}, probes(2));
+  sim.run_rounds(2);
+  sim.run_rounds(3);
+  EXPECT_EQ(sim.current_round(), 5);
+  EXPECT_EQ(sim.history().length(), 5);
+  EXPECT_EQ(sim.history().at(5).round, 5);
+}
+
+TEST(SyncSimulator, ConfigurationAfterStartIsRejected) {
+  SyncSimulator sim(SyncConfig{}, probes(2));
+  sim.run_rounds(1);
+  EXPECT_THROW(sim.set_fault_plan(0, FaultPlan::crash(5)), std::logic_error);
+  EXPECT_THROW(sim.corrupt_state(0, Value(1)), std::logic_error);
+}
+
+TEST(SyncSimulator, PlannedFaultyReflectsPlans) {
+  SyncSimulator sim(SyncConfig{}, probes(3));
+  sim.set_fault_plan(2, FaultPlan::crash(100));
+  EXPECT_EQ(sim.planned_faulty(), (std::vector<bool>{false, false, true}));
+}
+
+TEST(SyncSimulator, SendToBadDestinationThrows) {
+  class BadSender : public SyncProcess {
+   public:
+    void begin_round(Outbox& out) override { out.send(99, Value(1)); }
+    void end_round(const std::vector<Message>&) override {}
+    Value snapshot_state() const override { return Value(); }
+    void restore_state(const Value&) override {}
+  };
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  procs.push_back(std::make_unique<BadSender>());
+  SyncSimulator sim(SyncConfig{}, std::move(procs));
+  EXPECT_THROW(sim.run_rounds(1), std::out_of_range);
+}
+
+TEST(SyncSimulator, RecordStatesOffLeavesClocksAvailable) {
+  SyncSimulator sim(SyncConfig{.seed = 1, .record_states = false},
+                    round_agreement_system(2));
+  sim.run_rounds(2);
+  EXPECT_TRUE(sim.history().at(1).state[0].is_null());
+  EXPECT_EQ(sim.history().at(2).clock[0], std::optional<Round>(2));
+}
+
+}  // namespace
+}  // namespace ftss

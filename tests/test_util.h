@@ -1,0 +1,37 @@
+// Shared helpers for the ftss test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/round_agreement.h"
+#include "sim/simulator.h"
+
+namespace ftss::testing {
+
+// n RoundAgreementProcess instances (Figure 1).
+inline std::vector<std::unique_ptr<SyncProcess>> round_agreement_system(int n) {
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<RoundAgreementProcess>(p));
+  }
+  return procs;
+}
+
+inline Value clock_state(Round c) {
+  Value s;
+  s["c"] = Value(c);
+  return s;
+}
+
+// All clocks of live processes at the start of round r.
+inline std::vector<Round> clocks_at(const History& h, Round r) {
+  std::vector<Round> out;
+  for (int p = 0; p < h.n; ++p) {
+    const auto& c = h.at(r).clock[p];
+    if (c) out.push_back(*c);
+  }
+  return out;
+}
+
+}  // namespace ftss::testing

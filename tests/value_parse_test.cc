@@ -1,0 +1,85 @@
+// Serialization round-trip: Value::parse is the exact inverse of
+// Value::to_string, enabling saved corrupted-state reproductions.
+#include <gtest/gtest.h>
+
+#include "sim/corrupt.h"
+#include "util/value.h"
+
+namespace ftss {
+namespace {
+
+void expect_round_trip(const Value& v) {
+  auto parsed = Value::parse(v.to_string());
+  ASSERT_TRUE(parsed.has_value()) << v.to_string();
+  EXPECT_EQ(*parsed, v) << v.to_string();
+}
+
+TEST(ValueParse, Scalars) {
+  expect_round_trip(Value());
+  expect_round_trip(Value(true));
+  expect_round_trip(Value(false));
+  expect_round_trip(Value(0));
+  expect_round_trip(Value(-123456789012345LL));
+  expect_round_trip(Value(std::numeric_limits<std::int64_t>::max()));
+  expect_round_trip(Value(std::numeric_limits<std::int64_t>::min()));
+}
+
+TEST(ValueParse, Strings) {
+  expect_round_trip(Value(""));
+  expect_round_trip(Value("plain"));
+  expect_round_trip(Value("with \"quotes\" and \\backslash\\"));
+  expect_round_trip(Value("newline\nand\ttab\rand\x01control"));
+}
+
+TEST(ValueParse, Containers) {
+  expect_round_trip(Value::array({}));
+  expect_round_trip(Value::array({Value(1), Value("x"), Value()}));
+  expect_round_trip(Value::map({}));
+  expect_round_trip(Value::map(
+      {{"a", Value(1)},
+       {"key with \"quote\"", Value::array({Value(true), Value::map({})})}}));
+}
+
+TEST(ValueParse, DeepNesting) {
+  Value v(7);
+  for (int i = 0; i < 20; ++i) {
+    v = Value::map({{"inner", Value::array({v, Value(i)})}});
+  }
+  expect_round_trip(v);
+}
+
+TEST(ValueParse, RandomValuesRoundTrip) {
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    expect_round_trip(random_value(rng, 1'000'000'000'000LL, 4));
+  }
+}
+
+TEST(ValueParse, WhitespaceTolerated) {
+  auto v = Value::parse(R"(  { "a" : [ 1 , 2 ] , "b" : null }  )");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->at("a").size(), 2u);
+  EXPECT_TRUE(v->at("b").is_null());
+}
+
+TEST(ValueParse, MalformedInputsRejected) {
+  for (const char* bad :
+       {"", "nul", "truth", "01x", "-", "\"unterminated", "[1,", "[1 2]",
+        "{\"a\":}", "{\"a\" 1}", "{a:1}", "[1],", "12 34", "{\"a\":1,}",
+        "\"bad\\escape\"", "\"\\u12\"", "\"\\uzzzz\""}) {
+    EXPECT_FALSE(Value::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(ValueParse, IntegerOverflowRejected) {
+  EXPECT_FALSE(Value::parse("99999999999999999999999").has_value());
+  EXPECT_FALSE(Value::parse("-99999999999999999999999").has_value());
+}
+
+TEST(ValueParse, EscapedStringRendering) {
+  Value v("a\"b\\c\nd");
+  EXPECT_EQ(v.to_string(), R"("a\"b\\c\nd")");
+}
+
+}  // namespace
+}  // namespace ftss

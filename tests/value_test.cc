@@ -1,0 +1,155 @@
+#include "util/value.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ftss {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(Value, IntConstructionAndAccess) {
+  Value v(42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_EQ(Value(42L).as_int(), 42);
+  EXPECT_EQ(Value(42LL).as_int(), 42);
+}
+
+TEST(Value, BoolIsNotInt) {
+  Value v(true);
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_TRUE(v.as_bool());
+}
+
+TEST(Value, StringConstruction) {
+  Value from_literal("hi");
+  Value from_string(std::string("hi"));
+  EXPECT_TRUE(from_literal.is_string());
+  EXPECT_EQ(from_literal, from_string);
+  EXPECT_EQ(from_literal.as_string(), "hi");
+}
+
+TEST(Value, ArrayConstructionAndSize) {
+  Value v = Value::array({Value(1), Value("x"), Value()});
+  EXPECT_TRUE(v.is_array());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.as_array()[0].as_int(), 1);
+  EXPECT_TRUE(v.as_array()[2].is_null());
+}
+
+TEST(Value, MapConstructionAndAt) {
+  Value v = Value::map({{"a", Value(1)}, {"b", Value("x")}});
+  EXPECT_TRUE(v.is_map());
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_TRUE(v.contains("b"));
+  EXPECT_FALSE(v.contains("c"));
+  EXPECT_TRUE(v.at("c").is_null());
+}
+
+TEST(Value, AtOnNonMapReturnsNull) {
+  EXPECT_TRUE(Value(7).at("k").is_null());
+  EXPECT_TRUE(Value("s").at("k").is_null());
+  EXPECT_FALSE(Value(7).contains("k"));
+}
+
+TEST(Value, IndexOperatorCreatesMap) {
+  Value v(3);  // starts as an int
+  v["k"] = Value(9);
+  EXPECT_TRUE(v.is_map());
+  EXPECT_EQ(v.at("k").as_int(), 9);
+}
+
+TEST(Value, TolerantAccessors) {
+  EXPECT_EQ(Value("junk").int_or(-1), -1);
+  EXPECT_EQ(Value(5).int_or(-1), 5);
+  EXPECT_EQ(Value(5).bool_or(true), true);
+  EXPECT_EQ(Value(false).bool_or(true), false);
+  EXPECT_EQ(Value(5).string_or("d"), "d");
+  EXPECT_EQ(Value("s").string_or("d"), "s");
+}
+
+TEST(Value, DeepEquality) {
+  Value a = Value::map({{"x", Value::array({Value(1), Value(2)})}});
+  Value b = Value::map({{"x", Value::array({Value(1), Value(2)})}});
+  Value c = Value::map({{"x", Value::array({Value(1), Value(3)})}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Value, TotalOrderAcrossTypes) {
+  // null < bool < int < string < array < map.
+  EXPECT_LT(Value(), Value(false));
+  EXPECT_LT(Value(true), Value(0));
+  EXPECT_LT(Value(999), Value(""));
+  EXPECT_LT(Value("zzz"), Value(Value::Array{}));
+  EXPECT_LT(Value(Value::Array{}), Value(Value::Map{}));
+}
+
+TEST(Value, OrderWithinTypes) {
+  EXPECT_LT(Value(-5), Value(3));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value::array({Value(1)}), Value::array({Value(1), Value(1)}));
+  EXPECT_LT(Value::array({Value(1), Value(2)}), Value::array({Value(2)}));
+  EXPECT_LT(Value::map({{"a", Value(1)}}), Value::map({{"b", Value(0)}}));
+}
+
+TEST(Value, OrderingIsStrongAndConsistentWithEquality) {
+  Value a = Value::array({Value(1), Value("x")});
+  Value b = Value::array({Value(1), Value("x")});
+  EXPECT_EQ(a <=> b, std::strong_ordering::equal);
+}
+
+TEST(Value, ToStringRendersCompactly) {
+  Value v = Value::map({{"n", Value()},
+                        {"b", Value(true)},
+                        {"i", Value(-2)},
+                        {"s", Value("hi")},
+                        {"a", Value::array({Value(1), Value(2)})}});
+  EXPECT_EQ(v.to_string(), R"({"a":[1,2],"b":true,"i":-2,"n":null,"s":"hi"})");
+}
+
+TEST(Value, StreamOperatorMatchesToString) {
+  Value v = Value::array({Value(1), Value("x")});
+  std::ostringstream os;
+  os << v;
+  EXPECT_EQ(os.str(), v.to_string());
+}
+
+TEST(Value, HashIsContentBased) {
+  Value a = Value::map({{"x", Value(1)}});
+  Value b = Value::map({{"x", Value(1)}});
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Value, HashDistinguishesTypesAndContents) {
+  EXPECT_NE(Value(1).hash(), Value(true).hash());
+  EXPECT_NE(Value(1).hash(), Value(2).hash());
+  EXPECT_NE(Value("1").hash(), Value(1).hash());
+  EXPECT_NE(Value::array({Value(1)}).hash(), Value::array({Value(1), Value()}).hash());
+}
+
+TEST(Value, MutableAccessors) {
+  Value v = Value::array({Value(1)});
+  v.mutable_array().push_back(Value(2));
+  EXPECT_EQ(v.size(), 2u);
+
+  Value m = Value::map({{"a", Value(1)}});
+  m.mutable_map()["b"] = Value(2);
+  EXPECT_EQ(m.at("b").as_int(), 2);
+}
+
+TEST(Value, CheckedAccessorThrowsOnMismatch) {
+  EXPECT_THROW(Value("x").as_int(), std::bad_variant_access);
+  EXPECT_THROW(Value(1).as_string(), std::bad_variant_access);
+}
+
+}  // namespace
+}  // namespace ftss
