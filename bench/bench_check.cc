@@ -1,0 +1,78 @@
+// Adversary-explorer throughput: cost of one property trial per mode (the
+// number that dictates how many random schedules a CI budget can afford),
+// and the cost of shrinking a failing schedule to a minimal reproducer.
+#include <benchmark/benchmark.h>
+
+#include "check/adversary.h"
+#include "check/explorer.h"
+
+namespace ftss {
+namespace {
+
+void BM_TrialRoundAgreement(benchmark::State& state) {
+  AdversaryConfig config;
+  config.allow_jitter = false;
+  config.allow_compiled = false;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const TrialPlan plan = sample_trial(config, WeakenedKind::kNone,
+                                        trial_seed_for(42, static_cast<int>(i++)));
+    benchmark::DoNotOptimize(run_trial(plan));
+  }
+}
+BENCHMARK(BM_TrialRoundAgreement);
+
+void BM_TrialJitter(benchmark::State& state) {
+  AdversaryConfig config;
+  config.allow_sync = false;
+  config.allow_compiled = false;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const TrialPlan plan = sample_trial(config, WeakenedKind::kNone,
+                                        trial_seed_for(42, static_cast<int>(i++)));
+    benchmark::DoNotOptimize(run_trial(plan));
+  }
+}
+BENCHMARK(BM_TrialJitter);
+
+void BM_TrialCompiled(benchmark::State& state) {
+  AdversaryConfig config;
+  config.allow_sync = false;
+  config.allow_jitter = false;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const TrialPlan plan = sample_trial(config, WeakenedKind::kNone,
+                                        trial_seed_for(42, static_cast<int>(i++)));
+    benchmark::DoNotOptimize(run_trial(plan));
+  }
+}
+BENCHMARK(BM_TrialCompiled);
+
+void BM_ShrinkRaMaxFailure(benchmark::State& state) {
+  // Shrinking cost for a fully-loaded failing trial (the ra-max weakening
+  // fails every schedule, so any sampled plan works as the starting point).
+  AdversaryConfig config;
+  const TrialPlan plan =
+      sample_trial(config, WeakenedKind::kRoundAgreementMaxRule,
+                   trial_seed_for(42, 0));
+  const TrialResult failing = run_trial(plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shrink_trial(failing, /*budget=*/200));
+  }
+}
+BENCHMARK(BM_ShrinkRaMaxFailure);
+
+void BM_Explore100Trials(benchmark::State& state) {
+  ExplorerConfig config;
+  config.trials = 100;
+  config.jobs = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explore(config));
+  }
+}
+BENCHMARK(BM_Explore100Trials)->Arg(1)->Arg(4)->UseRealTime();
+
+}  // namespace
+}  // namespace ftss
+
+BENCHMARK_MAIN();

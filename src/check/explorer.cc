@@ -1,0 +1,319 @@
+#include "check/explorer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "check/weakened.h"
+#include "core/compiler.h"
+#include "core/round_agreement.h"
+#include "protocols/suite.h"
+#include "util/parallel.h"
+
+namespace ftss {
+
+namespace {
+
+std::set<std::string> oracle_set(const TrialEvaluation& eval) {
+  std::set<std::string> names;
+  for (const auto& v : eval.violations) names.insert(v.oracle);
+  return names;
+}
+
+bool is_subset(const std::set<std::string>& sub,
+               const std::set<std::string>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+// Every one-step reduction of `plan`, in a fixed (deterministic) order of
+// decreasing expected payoff: structural deletions first, then parameter
+// simplifications.
+std::vector<TrialPlan> shrink_candidates(const TrialPlan& plan) {
+  std::vector<TrialPlan> out;
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    TrialPlan c = plan;
+    c.faults.erase(c.faults.begin() + static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < plan.corruptions.size(); ++i) {
+    TrialPlan c = plan;
+    c.corruptions.erase(c.corruptions.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+  if (plan.max_extra_delay > 0) {
+    TrialPlan c = plan;
+    c.max_extra_delay = 0;
+    out.push_back(std::move(c));
+    if (plan.max_extra_delay > 1) {
+      c = plan;
+      --c.max_extra_delay;
+      out.push_back(std::move(c));
+    }
+  }
+  if (plan.mode == TrialMode::kRoundAgreementSync && plan.rounds > 12) {
+    TrialPlan c = plan;
+    c.rounds = std::max(12, plan.rounds / 2);
+    out.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    const FaultSpec& f = plan.faults[i];
+    if (f.kind != FaultSpec::Kind::kCrash) {
+      if (f.until == FaultSpec::kNoEnd) {
+        TrialPlan c = plan;
+        c.faults[i].until = plan.rounds;
+        out.push_back(std::move(c));
+      } else if (f.until > f.onset) {
+        TrialPlan c = plan;
+        c.faults[i].until = f.onset + (f.until - f.onset) / 2;
+        out.push_back(std::move(c));
+      }
+      if (f.permille != 1000) {
+        TrialPlan c = plan;
+        c.faults[i].permille = 1000;
+        out.push_back(std::move(c));
+      }
+    }
+    if (f.onset > 1) {
+      TrialPlan c = plan;
+      c.faults[i].onset = std::max<Round>(1, f.onset / 2);
+      if (c.faults[i].until != FaultSpec::kNoEnd &&
+          c.faults[i].until < c.faults[i].onset) {
+        c.faults[i].until = c.faults[i].onset;
+      }
+      out.push_back(std::move(c));
+    }
+  }
+  for (std::size_t i = 0; i < plan.corruptions.size(); ++i) {
+    const CorruptionSpec& c0 = plan.corruptions[i];
+    if (std::abs(c0.magnitude) > 8) {
+      TrialPlan c = plan;
+      c.corruptions[i].magnitude = c0.magnitude / 8;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+void fold_coverage(const TrialPlan& plan, Coverage& cov) {
+  switch (plan.mode) {
+    case TrialMode::kRoundAgreementSync:
+      ++cov.sync;
+      break;
+    case TrialMode::kRoundAgreementJitter:
+      ++cov.jitter;
+      break;
+    case TrialMode::kCompiled:
+      ++cov.compiled;
+      break;
+  }
+  for (const auto& f : plan.faults) {
+    switch (f.kind) {
+      case FaultSpec::Kind::kCrash:
+        ++cov.crash;
+        break;
+      case FaultSpec::Kind::kSendOmission:
+        ++cov.send_omission;
+        break;
+      case FaultSpec::Kind::kReceiveOmission:
+        ++cov.receive_omission;
+        break;
+    }
+  }
+  for (const auto& c : plan.corruptions) {
+    if (c.kind == CorruptionSpec::Kind::kClock) {
+      ++cov.clock_corruptions;
+    } else {
+      ++cov.garbage_corruptions;
+    }
+  }
+  if (plan.faults.empty()) ++cov.fault_free_trials;
+}
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv_str(std::uint64_t h, const std::string& s) {
+  for (unsigned char ch : s) {
+    h ^= ch;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+TrialResult run_trial(const TrialPlan& plan) {
+  TrialResult result;
+  result.plan = plan;
+
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  if (plan.mode == TrialMode::kCompiled) {
+    const ProtocolSpec* spec = find_protocol(plan.protocol);
+    if (spec == nullptr) {
+      result.evaluation.violations.push_back(
+          Violation{"compiled-setup", "unknown protocol: " + plan.protocol});
+      return result;
+    }
+    CompilerOptions options;
+    options.use_round_tags =
+        plan.weakened != WeakenedKind::kCompilerNoRoundTags;
+    procs = compile_protocol(plan.n, spec->make(plan.f_budget),
+                             spec->inputs(plan.n), options);
+  } else {
+    const bool weak = plan.weakened == WeakenedKind::kRoundAgreementMaxRule;
+    for (ProcessId p = 0; p < plan.n; ++p) {
+      if (weak) {
+        procs.push_back(std::make_unique<WeakRoundAgreementProcess>(p));
+      } else {
+        procs.push_back(std::make_unique<RoundAgreementProcess>(p));
+      }
+    }
+  }
+
+  SyncConfig config;
+  config.seed = plan.trial_seed;
+  config.record_states = false;
+  config.max_extra_delay = plan.max_extra_delay;
+  SyncSimulator sim(config, std::move(procs));
+  for (const auto& c : plan.corruptions) {
+    sim.corrupt_state(c.process, corruption_value(c));
+  }
+  for (ProcessId p = 0; p < plan.n; ++p) {
+    FaultPlan fp = plan.fault_plan_for(p);
+    if (!fp.empty()) sim.set_fault_plan(p, std::move(fp));
+  }
+  sim.run_rounds(plan.rounds);
+  result.evaluation = evaluate_trial(sim, plan);
+  return result;
+}
+
+ShrinkResult shrink_trial(const TrialResult& failing, int budget) {
+  ShrinkResult res;
+  res.plan = failing.plan;
+  const std::set<std::string> original = oracle_set(failing.evaluation);
+  bool progress = true;
+  while (progress && res.steps_tried < budget) {
+    progress = false;
+    for (TrialPlan& cand : shrink_candidates(res.plan)) {
+      if (res.steps_tried >= budget) break;
+      ++res.steps_tried;
+      const TrialResult r = run_trial(cand);
+      if (!r.evaluation.ok() && is_subset(oracle_set(r.evaluation), original)) {
+        res.plan = std::move(cand);
+        ++res.steps_accepted;
+        progress = true;
+        break;  // restart candidate generation from the smaller plan
+      }
+    }
+  }
+  return res;
+}
+
+ExplorerReport explore(const ExplorerConfig& config) {
+  ExplorerReport report;
+  report.trials = config.trials;
+
+  const std::function<TrialResult(std::size_t)> body =
+      [&config](std::size_t i) {
+        const std::uint64_t seed =
+            trial_seed_for(config.seed, static_cast<int>(i));
+        return run_trial(
+            sample_trial(config.adversary, config.weakened, seed));
+      };
+  const std::vector<TrialResult> results = parallel_sweep<TrialResult>(
+      static_cast<std::size_t>(std::max(0, config.trials)), body, config.jobs);
+
+  std::uint64_t fp = 0xcbf29ce484222325ULL;
+  std::vector<std::pair<double, NearMiss>> misses;
+  for (int i = 0; i < static_cast<int>(results.size()); ++i) {
+    const TrialResult& r = results[i];
+    fold_coverage(r.plan, report.coverage);
+
+    fp = fnv(fp, r.plan.trial_seed);
+    fp = fnv(fp, r.evaluation.ok() ? 1 : 2);
+    for (const auto& v : r.evaluation.violations) fp = fnv_str(fp, v.oracle);
+    if (r.evaluation.stabilization) {
+      fp = fnv(fp, static_cast<std::uint64_t>(*r.evaluation.stabilization) + 3);
+    }
+
+    if (!r.evaluation.ok()) {
+      ++report.failing_trials;
+      if (static_cast<int>(report.failures.size()) < config.max_failures) {
+        FailureReport f;
+        f.index = i;
+        f.original = r.plan;
+        if (config.shrink) {
+          ShrinkResult s = shrink_trial(r, config.shrink_budget);
+          f.shrunk = s.plan;
+          f.shrink_steps = s.steps_accepted;
+          f.violations = run_trial(f.shrunk).evaluation.violations;
+        } else {
+          f.shrunk = r.plan;
+          f.violations = r.evaluation.violations;
+        }
+        report.failures.push_back(std::move(f));
+      }
+    } else if (r.evaluation.stabilization && r.evaluation.bound > 0) {
+      const double score =
+          static_cast<double>(*r.evaluation.stabilization) /
+          static_cast<double>(r.evaluation.bound);
+      misses.emplace_back(
+          score, NearMiss{i, r.plan.trial_seed, r.plan.mode,
+                          *r.evaluation.stabilization, r.evaluation.bound});
+    }
+  }
+
+  std::stable_sort(misses.begin(), misses.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; i < misses.size() && i < 5; ++i) {
+    report.near_misses.push_back(misses[i].second);
+  }
+  report.fingerprint = fp;
+  return report;
+}
+
+std::string ExplorerReport::summary() const {
+  std::ostringstream os;
+  os << "adversary explorer: " << trials << " trials, " << failing_trials
+     << " failing\n";
+  os << "  modes: round-agreement " << coverage.sync << ", jitter "
+     << coverage.jitter << ", compiled " << coverage.compiled << "\n";
+  os << "  fault specs: crash " << coverage.crash << ", send-omission "
+     << coverage.send_omission << ", receive-omission "
+     << coverage.receive_omission << " (fault-free trials "
+     << coverage.fault_free_trials << ")\n";
+  os << "  corruptions: clock " << coverage.clock_corruptions << ", garbage "
+     << coverage.garbage_corruptions << "\n";
+  os << "  fingerprint: 0x" << std::hex << std::setfill('0') << std::setw(16)
+     << fingerprint << std::dec << std::setfill(' ') << "\n";
+  if (!near_misses.empty()) {
+    os << "  near misses (stabilization/bound):\n";
+    for (const auto& m : near_misses) {
+      os << "    trial " << m.index << " seed " << m.trial_seed << " ["
+         << to_string(m.mode) << "]: " << m.stabilization << "/" << m.bound
+         << "\n";
+    }
+  }
+  for (const auto& f : failures) {
+    os << "  FAILURE at trial " << f.index << " (shrunk by " << f.shrink_steps
+       << " steps, " << f.shrunk.faults.size() << " faults, "
+       << f.shrunk.corruptions.size() << " corruptions):\n";
+    os << f.shrunk.describe();
+    for (const auto& v : f.violations) {
+      os << "    [" << v.oracle << "] " << v.detail << "\n";
+    }
+    os << "    replay: " << f.shrunk.to_value().to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ftss

@@ -1,0 +1,148 @@
+// ftss_check: property-based adversary explorer CLI.
+//
+//   ftss_check --trials 1000 --seed 42          explore the real protocols
+//   ftss_check --weakened ra-max                validate the oracles' teeth
+//   ftss_check --replay plan.json               re-run one saved plan
+//   ftss_check --dump-trial 17 --seed 42        print the 17th sampled plan
+//
+// Exit code: with --weakened none (the default), 0 iff no trial violated an
+// oracle; with a weakened protocol selected, 0 iff the explorer *caught* it
+// (failing to catch a planted bug is the failure).  --replay exits 0 iff the
+// replayed plan passes.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "check/explorer.h"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: ftss_check [options]\n"
+         "  --trials N       number of trials (default 1000)\n"
+         "  --seed S         run seed (default 42)\n"
+         "  --jobs J         worker threads (default: hardware)\n"
+         "  --mode M         all|sync|jitter|compiled (default all)\n"
+         "  --weakened W     none|ra-max|no-tags (default none)\n"
+         "  --no-shrink      report failures without shrinking\n"
+         "  --max-failures K failures to keep and shrink (default 5)\n"
+         "  --replay FILE    run one plan from a JSON file and exit\n"
+         "  --dump-trial I   print the I-th sampled plan and exit\n";
+}
+
+int replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ftss_check: cannot open " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = ftss::Value::parse(buffer.str());
+  if (!parsed) {
+    std::cerr << "ftss_check: " << path << " is not valid plan JSON\n";
+    return 2;
+  }
+  const auto plan = ftss::TrialPlan::from_value(*parsed);
+  if (!plan) {
+    std::cerr << "ftss_check: " << path << " is not a well-formed plan\n";
+    return 2;
+  }
+  std::cout << plan->describe();
+  const ftss::TrialResult result = ftss::run_trial(*plan);
+  if (result.evaluation.ok()) {
+    std::cout << "PASS";
+    if (result.evaluation.stabilization) {
+      std::cout << " (stabilization " << *result.evaluation.stabilization
+                << "/" << result.evaluation.bound << ")";
+    }
+    std::cout << "\n";
+    return 0;
+  }
+  std::cout << "FAIL\n" << result.evaluation.describe();
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftss::ExplorerConfig config;
+  std::string replay_path;
+  int dump_trial = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "ftss_check: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trials") {
+      config.trials = std::atoi(next());
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      config.jobs = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--mode") {
+      const std::string m = next();
+      config.adversary.allow_sync = m == "all" || m == "sync";
+      config.adversary.allow_jitter = m == "all" || m == "jitter";
+      config.adversary.allow_compiled = m == "all" || m == "compiled";
+      if (!config.adversary.allow_sync && !config.adversary.allow_jitter &&
+          !config.adversary.allow_compiled) {
+        std::cerr << "ftss_check: unknown --mode " << m << "\n";
+        return 2;
+      }
+    } else if (arg == "--weakened") {
+      const auto w = ftss::parse_weakened_kind(next());
+      if (!w) {
+        std::cerr << "ftss_check: unknown --weakened kind\n";
+        return 2;
+      }
+      config.weakened = *w;
+    } else if (arg == "--no-shrink") {
+      config.shrink = false;
+    } else if (arg == "--max-failures") {
+      config.max_failures = std::atoi(next());
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--dump-trial") {
+      dump_trial = std::atoi(next());
+    } else {
+      usage();
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  if (!replay_path.empty()) return replay(replay_path);
+
+  if (dump_trial >= 0) {
+    const ftss::TrialPlan plan =
+        ftss::sample_trial(config.adversary, config.weakened,
+                           ftss::trial_seed_for(config.seed, dump_trial));
+    std::cout << plan.describe() << plan.to_value().to_string() << "\n";
+    return 0;
+  }
+
+  const ftss::ExplorerReport report = ftss::explore(config);
+  std::cout << report.summary();
+
+  if (config.weakened == ftss::WeakenedKind::kNone) {
+    return report.failing_trials > 0 ? 1 : 0;
+  }
+  // A weakened protocol was planted: the explorer must catch it.
+  if (report.failing_trials > 0) {
+    std::cout << "weakened protocol caught (" << report.failing_trials << "/"
+              << report.trials << " trials failing)\n";
+    return 0;
+  }
+  std::cout << "ERROR: weakened protocol NOT caught\n";
+  return 1;
+}

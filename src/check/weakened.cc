@@ -1,0 +1,44 @@
+#include "check/weakened.h"
+
+#include <algorithm>
+
+#include "util/numeric.h"
+
+namespace ftss {
+
+void WeakRoundAgreementProcess::begin_round(Outbox& out) {
+  Value m;
+  m["type"] = Value("ROUND");
+  m["p"] = Value(static_cast<std::int64_t>(self_));
+  m["c"] = Value(c_);
+  out.broadcast(std::move(m));
+}
+
+void WeakRoundAgreementProcess::end_round(
+    const std::vector<Message>& delivered) {
+  // The bug under test: adopt max(R) with NO +1.
+  bool any = false;
+  Round best = c_;
+  for (const auto& m : delivered) {
+    const Value& c = m.payload.at("c");
+    if (!c.is_int()) continue;
+    const Round t = clamp_round_tag(c.as_int());
+    best = any ? std::max(best, t) : t;
+    any = true;
+  }
+  c_ = any ? best : clamp_round_tag(c_);
+}
+
+Value WeakRoundAgreementProcess::snapshot_state() const {
+  Value s;
+  s["c"] = Value(c_);
+  return s;
+}
+
+void WeakRoundAgreementProcess::restore_state(const Value& state) {
+  const Value& c = state.at("c");
+  c_ = clamp_restored_round(
+      c.is_int() ? c.as_int() : static_cast<Round>(state.hash() % 1000003));
+}
+
+}  // namespace ftss

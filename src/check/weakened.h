@@ -1,0 +1,34 @@
+// Deliberately broken protocol variants used to validate the explorer.
+//
+// An adversary explorer whose oracles never fire is indistinguishable from
+// one that checks nothing.  These variants carry known, paper-relevant bugs;
+// tests/check_explorer_test.cc asserts the explorer catches them and shrinks
+// each failure to a minimal reproducer.
+#pragma once
+
+#include "sim/process.h"
+
+namespace ftss {
+
+// Figure 1 with the rule weakened from max(R)+1 to max(R): clocks converge
+// to the maximum but never advance, so Assumption 1's rate clause
+// (c^{r+1} = c^r + 1) fails in every round — even with no faults and no
+// corruption at all.  The Theorem 3 oracle must reject every execution.
+class WeakRoundAgreementProcess : public SyncProcess {
+ public:
+  explicit WeakRoundAgreementProcess(ProcessId self, Round initial_round = 1)
+      : self_(self), c_(initial_round) {}
+
+  void begin_round(Outbox& out) override;
+  void end_round(const std::vector<Message>& delivered) override;
+
+  Value snapshot_state() const override;
+  void restore_state(const Value& state) override;
+  std::optional<Round> round_counter() const override { return c_; }
+
+ private:
+  ProcessId self_;
+  Round c_;
+};
+
+}  // namespace ftss

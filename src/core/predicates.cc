@@ -131,6 +131,32 @@ FtssCheckResult check_round_agreement_ftss(const History& h, Round stab_time) {
   return check_ftss(h, stab_time, round_agreement_sigma());
 }
 
+FtssCheckResult check_round_agreement_eventual(const History& h, Round bound) {
+  const StabilizationMeasure m = measure_round_agreement(h);
+  const Round base = std::max<Round>(m.last_coterie_change, 1);
+  if (h.length() < base + bound) {
+    std::ostringstream os;
+    os << "inconclusive: history ends at " << h.length()
+       << ", needs to reach " << base + bound << " (last coterie change "
+       << m.last_coterie_change << ", bound " << bound << ")";
+    return FtssCheckResult{false, os.str()};
+  }
+  if (!m.stable_from) {
+    std::ostringstream os;
+    os << "never stabilizes: no clean suffix in " << h.length()
+       << " rounds (last coterie change " << m.last_coterie_change << ")";
+    return FtssCheckResult{false, os.str()};
+  }
+  if (*m.stable_from > base + bound) {
+    std::ostringstream os;
+    os << "stabilized only at round " << *m.stable_from << " > "
+       << base + bound << " (last coterie change " << m.last_coterie_change
+       << ", bound " << bound << ")";
+    return FtssCheckResult{false, os.str()};
+  }
+  return FtssCheckResult{};
+}
+
 FtssCheckResult check_round_agreement_ss(const History& h, Round stab_time) {
   const std::vector<bool> nobody(h.n, false);
   auto sigma = round_agreement_sigma();

@@ -91,6 +91,15 @@ WindowPredicate round_agreement_sigma();
 // check_ftss specialized to round agreement (Theorem 3's obligation).
 FtssCheckResult check_round_agreement_ftss(const History& h, Round stab_time);
 
+// Relaxed obligation for "synchronous but not perfectly synchronized"
+// systems (§3's opening remark, EXP10): under delivery jitter the per-
+// interval stab-1 bound of Theorem 3 does not hold, but Figure 1 still
+// reaches exact agreement.  Checks that the history stabilizes (agreement +
+// rate hold on a suffix) within `bound` rounds of the last de-stabilizing
+// event.  The history must extend at least `bound` rounds past the last
+// coterie change, otherwise the check fails as inconclusive.
+FtssCheckResult check_round_agreement_eventual(const History& h, Round bound);
+
 // Definition 2.2 (ss-solves) specialized to round agreement: Σ must hold on
 // the stab_time-suffix of the history with NO faulty processes assumed —
 // the classic self-stabilization contract, meaningful only for executions

@@ -1,0 +1,38 @@
+// The shipped terminating-protocol suite, packaged for harnesses.
+//
+// Every terminating Π in src/protocols/ is registered here together with a
+// canonical deterministic InputSource and the validity predicate of its Σ⁺
+// spec, so generic drivers (the adversary explorer in src/check/, fuzzers,
+// benchmarks) can iterate "every protocol under its own spec" without
+// per-protocol wiring.  Inputs vary per iteration on purpose: a stale
+// process replaying values from the wrong iteration (§2.4's "insidious
+// problem") must be *detectable* as a validity violation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/terminating.h"
+#include "protocols/repeated.h"
+
+namespace ftss {
+
+struct ProtocolSpec {
+  std::string name;  // matches TerminatingProtocol::name()
+  // Factory for the protocol instance tolerating f crash failures.
+  std::shared_ptr<const TerminatingProtocol> (*make)(int f);
+  // Canonical per-iteration inputs for an n-process system.
+  InputSource (*inputs)(int n);
+  // Validity predicate of the protocol's Σ⁺ spec, for those inputs.
+  ValidityPredicate (*validity)(const InputSource& inputs, int n);
+};
+
+// All shipped protocols, in a fixed order (stable across runs, so seeded
+// random protocol choices are reproducible).
+const std::vector<ProtocolSpec>& protocol_suite();
+
+// Lookup by name; nullptr if unknown.
+const ProtocolSpec* find_protocol(const std::string& name);
+
+}  // namespace ftss

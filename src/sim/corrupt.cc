@@ -2,6 +2,12 @@
 
 namespace ftss {
 
+Value clock_corruption(Round c) {
+  Value s;
+  s["c"] = Value(c);
+  return s;
+}
+
 Value random_value(Rng& rng, std::int64_t magnitude, int max_depth) {
   const int kind = static_cast<int>(rng.uniform(0, max_depth > 0 ? 5 : 3));
   switch (kind) {

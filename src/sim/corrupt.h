@@ -7,6 +7,7 @@
 // the paper's mechanisms must specifically survive.
 #pragma once
 
+#include "sim/types.h"
 #include "util/rng.h"
 #include "util/value.h"
 
@@ -22,5 +23,11 @@ Value random_value(Rng& rng, std::int64_t magnitude, int max_depth = 3);
 // "plausible" — often harder to recover from than obvious garbage.
 Value mutate_value(const Value& original, Rng& rng, double p_leaf,
                    std::int64_t magnitude);
+
+// Targeted corruption of the distinguished round variable: a state whose "c"
+// field is `c` and nothing else.  Every shipped protocol's restore_state maps
+// this onto a corrupted round counter c_p (the paper's canonical systemic
+// failure, and the one Theorems 1–3 revolve around).
+Value clock_corruption(Round c);
 
 }  // namespace ftss

@@ -19,6 +19,8 @@ struct SendRecord {
   ProcessId dest = -1;
   Value payload;
   bool delivered = false;
+  // Round at which the send was attempted (the sender's begin_round).
+  Round sent_round = 0;
   // Round at which the message was (or would have been) delivered; equals
   // the sending round unless the simulator's delivery jitter delayed it.
   Round delivery_round = 0;

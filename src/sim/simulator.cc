@@ -129,6 +129,7 @@ void SyncSimulator::run_rounds(int k) {
       SendRecord sr;
       sr.sender = m.sender;
       sr.dest = m.dest;
+      sr.sent_round = sent_round;
       sr.delivery_round = r;
       if (config_.record_states) sr.payload = m.payload;
       if (!alive[m.dest]) {
@@ -141,7 +142,6 @@ void SyncSimulator::run_rounds(int k) {
         causality_.deliver_snapshot(sender_influence, m.dest);
         inbox[m.dest].push_back(std::move(m));
       }
-      (void)sent_round;
       rec.sends.push_back(std::move(sr));
     };
 
@@ -161,6 +161,7 @@ void SyncSimulator::run_rounds(int k) {
         SendRecord sr;
         sr.sender = m.sender;
         sr.dest = m.dest;
+        sr.sent_round = r;
         sr.delivery_round = r;
         if (config_.record_states) sr.payload = m.payload;
         sr.dropped_by_sender = true;

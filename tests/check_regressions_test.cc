@@ -1,0 +1,156 @@
+// Pinned adversary-explorer schedules.
+//
+// Each plan below was produced by a real `ftss_check` run: failing plans
+// were shrunk by shrink_trial() to a minimal reproducer of a deliberately
+// weakened protocol, near-miss plans are passing schedules that consumed an
+// unusually large share of the theorem's stabilization bound.  Pinning them
+// as deterministic regressions keeps the interesting corners of the
+// schedule space exercised on every test run, and keeps the measured
+// stabilization margins from silently regressing.
+#include <gtest/gtest.h>
+
+#include "check/explorer.h"
+#include "check/plan.h"
+
+namespace ftss {
+namespace {
+
+TrialPlan parse_plan(const char* json) {
+  const auto value = Value::parse(json);
+  EXPECT_TRUE(value.has_value()) << json;
+  const auto plan = TrialPlan::from_value(*value);
+  EXPECT_TRUE(plan.has_value()) << json;
+  return *plan;
+}
+
+std::vector<std::string> oracle_names(const TrialEvaluation& eval) {
+  std::vector<std::string> names;
+  for (const auto& v : eval.violations) names.push_back(v.oracle);
+  return names;
+}
+
+// ftss_check --weakened ra-max --seed 42, trial 0, shrunk to nothing at all:
+// the max-without-+1 rule violates Assumption 1's rate clause in every
+// round, so even the fault-free, corruption-free execution fails Theorem 3.
+constexpr const char* kRaMaxShrunk =
+    R"({"corruptions":[],"delay":0,"f":1,"faults":[],"mode":"round-agreement",)"
+    R"("n":3,"rounds":12,"seed":4456085495900499605,"weakened":"ra-max"})";
+
+TEST(CheckRegressions, RaMaxShrunkReproFailsWeakenedOnly) {
+  TrialPlan plan = parse_plan(kRaMaxShrunk);
+  const TrialResult weak = run_trial(plan);
+  ASSERT_FALSE(weak.evaluation.ok());
+  EXPECT_EQ(oracle_names(weak.evaluation),
+            std::vector<std::string>{"theorem3-ftss"});
+
+  // The identical schedule against the real Figure 1 protocol is clean.
+  plan.weakened = WeakenedKind::kNone;
+  const TrialResult real = run_trial(plan);
+  EXPECT_TRUE(real.evaluation.ok()) << real.evaluation.describe();
+}
+
+// ftss_check --weakened no-tags --seed 42, trial 0, shrunk to one fault and
+// one corruption: a briefly receive-deaf process whose round counter starts
+// behind the others replays inputs of the wrong iteration into FloodSet
+// (§2.4's "insidious problem"); without the ROUND-tag filter the system
+// needs 9 rounds to produce a clean iteration suffix, far past Theorem 4's
+// 2*final_round+1 = 5 bound.
+constexpr const char* kNoTagsShrunk =
+    R"({"corruptions":[{"kind":"clock","magnitude":-2,"p":1}],"delay":0,)"
+    R"("f":1,"faults":[{"kind":"receive-omission","onset":1,"p":1,"until":6}],)"
+    R"("mode":"compiled","n":3,"protocol":"floodset-consensus","rounds":44,)"
+    R"("seed":4456085495900499605,"weakened":"no-tags"})";
+
+TEST(CheckRegressions, NoTagsShrunkReproFailsWeakenedOnly) {
+  TrialPlan plan = parse_plan(kNoTagsShrunk);
+  const TrialResult weak = run_trial(plan);
+  ASSERT_FALSE(weak.evaluation.ok());
+  EXPECT_EQ(oracle_names(weak.evaluation),
+            std::vector<std::string>{"sigma-plus-stabilization"});
+
+  // With the ROUND-tag defense on, the same schedule stabilizes immediately.
+  plan.weakened = WeakenedKind::kNone;
+  const TrialResult real = run_trial(plan);
+  EXPECT_TRUE(real.evaluation.ok()) << real.evaluation.describe();
+  ASSERT_TRUE(real.evaluation.stabilization.has_value());
+  EXPECT_LE(*real.evaluation.stabilization, 1);
+}
+
+// ftss_check --mode jitter --seed 42, trial 214: the worst passing jitter
+// schedule of 2000 — three overlapping send-omission windows plus clock and
+// garbage corruption under delay 2 consumed 10 of the 18-round bound.
+constexpr const char* kJitterNearMiss =
+    R"({"corruptions":[{"kind":"clock","magnitude":7444223462,"p":0},)"
+    R"({"kind":"clock","magnitude":31,"p":2},)"
+    R"({"kind":"garbage","magnitude":1000000000000,"p":3,)"
+    R"("value_seed":-6145203765224200449}],"delay":2,"f":1,)"
+    R"("faults":[{"kind":"send-omission","onset":9,"p":4,"permille":154,"until":10},)"
+    R"({"kind":"receive-omission","onset":13,"p":3,"until":15},)"
+    R"({"kind":"send-omission","onset":7,"p":0,"until":10},)"
+    R"({"kind":"send-omission","onset":3,"p":2,"until":10}],)"
+    R"("mode":"round-agreement-jitter","n":5,"rounds":70,)"
+    R"("seed":3314217324067189985,"weakened":"none"})";
+
+TEST(CheckRegressions, JitterNearMissStaysWithinBound) {
+  const TrialResult r = run_trial(parse_plan(kJitterNearMiss));
+  EXPECT_TRUE(r.evaluation.ok()) << r.evaluation.describe();
+  ASSERT_TRUE(r.evaluation.stabilization.has_value());
+  EXPECT_EQ(r.evaluation.bound, 18);  // 10 + 4 * max_extra_delay
+  EXPECT_EQ(*r.evaluation.stabilization, 10);  // pinned: regression if worse
+}
+
+// ftss_check --mode compiled --seed 42, trial 9: the worst passing compiled
+// schedule — leader election (f=2, final_round 3) under a mid-iteration
+// full-broadcast send-omission window and five corruptions used 5 of the
+// 2*final_round+1 = 7 bound.
+constexpr const char* kCompiledNearMiss =
+    R"({"corruptions":[{"kind":"clock","magnitude":-2,"p":0},)"
+    R"({"kind":"garbage","magnitude":1000000000000,"p":2,)"
+    R"("value_seed":-8869963914471153522},)"
+    R"({"kind":"garbage","magnitude":1000000000000,"p":3,)"
+    R"("value_seed":-2737348744206805971},)"
+    R"({"kind":"clock","magnitude":40232042079,"p":4},)"
+    R"({"kind":"garbage","magnitude":1000000000000,"p":7,)"
+    R"("value_seed":-6934574185951507990}],"delay":0,"f":2,)"
+    R"("faults":[{"kind":"send-omission","onset":10,"p":6,"until":16}],)"
+    R"("mode":"compiled","n":8,"protocol":"leader-election","rounds":54,)"
+    R"("seed":2185608355395893166,"weakened":"none"})";
+
+TEST(CheckRegressions, CompiledNearMissStaysWithinBound) {
+  const TrialResult r = run_trial(parse_plan(kCompiledNearMiss));
+  EXPECT_TRUE(r.evaluation.ok()) << r.evaluation.describe();
+  ASSERT_TRUE(r.evaluation.stabilization.has_value());
+  EXPECT_EQ(r.evaluation.bound, 7);
+  EXPECT_EQ(*r.evaluation.stabilization, 5);  // pinned: regression if worse
+}
+
+// Hand-pinned clamp probe: round counters corrupted to ±(10^15 - 1), the
+// edge of clamp_restored_round's range, combined with a receive-deaf window.
+// Theorem 3's stab-1 obligation must hold even at the numeric extremes.
+constexpr const char* kClampProbe =
+    R"({"corruptions":[{"kind":"clock","magnitude":999999999999999,"p":0},)"
+    R"({"kind":"clock","magnitude":-999999999999999,"p":1}],"delay":0,"f":1,)"
+    R"("faults":[{"kind":"receive-omission","onset":1,"p":2,"until":5}],)"
+    R"("mode":"round-agreement","n":3,"rounds":20,"seed":99,)"
+    R"("weakened":"none"})";
+
+TEST(CheckRegressions, ClockCorruptionNearClampRecovers) {
+  const TrialResult r = run_trial(parse_plan(kClampProbe));
+  EXPECT_TRUE(r.evaluation.ok()) << r.evaluation.describe();
+  ASSERT_TRUE(r.evaluation.stabilization.has_value());
+  EXPECT_LE(*r.evaluation.stabilization, 1);
+}
+
+TEST(CheckRegressions, PinnedPlansRoundTripThroughSerialization) {
+  for (const char* json : {kRaMaxShrunk, kNoTagsShrunk, kJitterNearMiss,
+                           kCompiledNearMiss, kClampProbe}) {
+    const TrialPlan plan = parse_plan(json);
+    const Value serialized = plan.to_value();
+    const auto reparsed = TrialPlan::from_value(serialized);
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(reparsed->to_value(), serialized) << json;
+  }
+}
+
+}  // namespace
+}  // namespace ftss

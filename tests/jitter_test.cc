@@ -110,6 +110,77 @@ TEST(Jitter, OmissionWindowsUseTheRightRounds) {
   }
 }
 
+TEST(Jitter, SentRoundIsRecordedAndBoundedByJitter) {
+  SyncSimulator sim(SyncConfig{.seed = 21, .max_extra_delay = 3},
+                    round_agreement_system(4));
+  sim.run_rounds(25);
+  int lagged = 0;
+  for (const auto& rec : sim.history().rounds) {
+    for (const auto& s : rec.sends) {
+      ASSERT_EQ(s.delivery_round, rec.round);
+      const Round lag = s.delivery_round - s.sent_round;
+      if (s.sender == s.dest) {
+        EXPECT_EQ(lag, 0);
+      } else {
+        EXPECT_GE(lag, 0);
+        EXPECT_LE(lag, 3);
+        if (lag > 0) ++lagged;
+      }
+    }
+  }
+  EXPECT_GT(lagged, 0);
+}
+
+TEST(Jitter, ReceiveOmissionCrossesWindowBoundariesByDeliveryRound) {
+  // The sharp version of OmissionWindowsUseTheRightRounds, using the
+  // recorded sent_round: with delays up to 3 and a deaf window [6,9], the
+  // interesting schedules are messages sent BEFORE the window that arrive
+  // inside it (must drop) and messages sent INSIDE it that arrive after it
+  // (must deliver).  Both directions must actually occur in the run for the
+  // test to prove anything.
+  FaultPlan deaf_window;
+  deaf_window.receive_omissions.push_back(
+      OmissionRule{.from_round = 6, .to_round = 9});
+  SyncSimulator sim(SyncConfig{.seed = 13, .max_extra_delay = 3},
+                    round_agreement_system(3));
+  sim.set_fault_plan(2, deaf_window);
+  sim.run_rounds(30);
+  int dropped_late_arrival = 0;  // sent < 6, delivered in [6,9]
+  int escaped_the_window = 0;    // sent in [6,9], delivered > 9
+  for (const auto& rec : sim.history().rounds) {
+    for (const auto& s : rec.sends) {
+      if (s.dest != 2 || s.sender == 2) continue;
+      const bool in_window = s.delivery_round >= 6 && s.delivery_round <= 9;
+      EXPECT_EQ(s.dropped_by_receiver, in_window)
+          << "sent " << s.sent_round << " delivered " << s.delivery_round;
+      if (in_window && s.sent_round < 6) ++dropped_late_arrival;
+      if (!in_window && s.sent_round >= 6 && s.sent_round <= 9) {
+        ++escaped_the_window;
+      }
+    }
+  }
+  EXPECT_GT(dropped_late_arrival, 0);
+  EXPECT_GT(escaped_the_window, 0);
+}
+
+TEST(Jitter, ReceiveOmissionUnderJitterStillStabilizes) {
+  // delay > 0 × receive-omission × corrupted clocks: Figure 1 still reaches
+  // exact agreement within the EXP10 bound of 10 + 4Δ rounds after the last
+  // de-stabilizing event.
+  const int delta = 2;
+  FaultPlan deaf;
+  deaf.receive_omissions.push_back(OmissionRule{.from_round = 1, .to_round = 12});
+  SyncSimulator sim(SyncConfig{.seed = 31, .max_extra_delay = delta},
+                    round_agreement_system(5));
+  sim.set_fault_plan(3, deaf);
+  sim.corrupt_state(0, clock_state(5'000'000));
+  sim.corrupt_state(3, clock_state(-77));
+  sim.run_rounds(60);
+  const auto result =
+      check_round_agreement_eventual(sim.history(), 10 + 4 * delta);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
 TEST(Jitter, CausalityRespectsDeliveryTime) {
   // A message delayed by d rounds must not create influence before arrival.
   FaultPlan only_to_0;  // process 2 talks to 0 only (and itself)
