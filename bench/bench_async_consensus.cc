@@ -184,9 +184,10 @@ BENCHMARK(BM_FtssConsensusClean)->Arg(3)->Arg(5)->Arg(9);
 }  // namespace ftss
 
 int main(int argc, char** argv) {
+  ftss::bench::JsonEmitter json("async_consensus", &argc, argv);
   ftss::print_exp6();
   ftss::print_exp6b_message_cost();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  json.run_benchmarks();
+  return json.finish();
 }

@@ -124,8 +124,9 @@ BENCHMARK(BM_BoundedRounds)->Arg(8)->Arg(64);
 }  // namespace ftss
 
 int main(int argc, char** argv) {
+  ftss::bench::JsonEmitter json("bounded_counter", &argc, argv);
   ftss::print_exp8();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  json.run_benchmarks();
+  return json.finish();
 }

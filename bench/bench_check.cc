@@ -3,6 +3,9 @@
 // and the cost of shrinking a failing schedule to a minimal reproducer.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
+#include "bench_util.h"
 #include "check/adversary.h"
 #include "check/explorer.h"
 
@@ -72,7 +75,43 @@ void BM_Explore100Trials(benchmark::State& state) {
 }
 BENCHMARK(BM_Explore100Trials)->Arg(1)->Arg(4)->UseRealTime();
 
+// One deterministic sweep whose aggregated metrics land in the JSON, plus
+// the thread-invariance property the metrics layer promises: the merged
+// snapshot fingerprint must not depend on the worker count.
+void print_explorer_metrics(bench::JsonEmitter& json) {
+  ExplorerConfig config;
+  config.trials = 200;
+  config.seed = 42;
+
+  config.jobs = 1;
+  const ExplorerReport serial = explore(config);
+  config.jobs = 4;
+  const ExplorerReport parallel = explore(config);
+
+  bench::Table table("Explorer sweep metrics (200 trials, seed 42)",
+                     {"jobs", "failing trials", "metrics fingerprint"});
+  for (const auto* r : {&serial, &parallel}) {
+    std::ostringstream fp;
+    fp << "0x" << std::hex << r->metrics.fingerprint();
+    table.add_row(
+        {bench::fmt(static_cast<std::int64_t>(r == &serial ? 1 : 4)),
+         bench::fmt(static_cast<std::int64_t>(r->failing_trials)), fp.str()});
+  }
+  table.print();
+
+  json.set_metrics(serial.metrics.to_value());
+  json.add_check("metrics_fingerprint_thread_invariant",
+                 serial.metrics.fingerprint() == parallel.metrics.fingerprint());
+  json.add_check("baseline_sweep_all_pass", serial.failing_trials == 0);
+}
+
 }  // namespace
 }  // namespace ftss
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ftss::bench::JsonEmitter json("check", &argc, argv);
+  ftss::print_explorer_metrics(json);
+  benchmark::Initialize(&argc, argv);
+  json.run_benchmarks();
+  return json.finish();
+}

@@ -112,8 +112,9 @@ BENCHMARK(BM_CompiledRounds)->Args({4, 1})->Args({16, 2})->Args({32, 3});
 }  // namespace ftss
 
 int main(int argc, char** argv) {
+  ftss::bench::JsonEmitter json("compiler", &argc, argv);
   ftss::print_exp2();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  json.run_benchmarks();
+  return json.finish();
 }

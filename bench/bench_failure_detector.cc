@@ -130,8 +130,9 @@ BENCHMARK(BM_DetectorStack)->Arg(3)->Arg(9);
 }  // namespace ftss
 
 int main(int argc, char** argv) {
+  ftss::bench::JsonEmitter json("failure_detector", &argc, argv);
   ftss::print_exp5();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  json.run_benchmarks();
+  return json.finish();
 }

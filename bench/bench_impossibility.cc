@@ -79,8 +79,9 @@ BENCHMARK(BM_RevealScenario)->Arg(16)->Arg(128)->Arg(512);
 }  // namespace ftss
 
 int main(int argc, char** argv) {
+  ftss::bench::JsonEmitter json("impossibility", &argc, argv);
   ftss::print_exp3();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  json.run_benchmarks();
+  return json.finish();
 }

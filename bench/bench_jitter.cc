@@ -147,9 +147,10 @@ BENCHMARK(BM_JitteredRounds)->Arg(0)->Arg(2)->Arg(8);
 }  // namespace ftss
 
 int main(int argc, char** argv) {
+  ftss::bench::JsonEmitter json("jitter", &argc, argv);
   ftss::print_round_agreement_under_jitter();
   ftss::print_compiler_under_jitter();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  json.run_benchmarks();
+  return json.finish();
 }

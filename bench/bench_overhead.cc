@@ -11,6 +11,8 @@
 #include "bench_util.h"
 #include "core/compiler.h"
 #include "core/full_info.h"
+#include "core/round_agreement.h"
+#include "obs/trace.h"
 #include "protocols/floodset.h"
 #include "protocols/repeated.h"
 #include "sim/corrupt.h"
@@ -172,6 +174,32 @@ void print_ablation() {
       "tags-on rows' equivalence.)\n");
 }
 
+// Tracing overhead on the round-agreement hot loop.  Arg encodes the sink:
+// 0 = no sink attached (the production configuration — every emission site
+// is behind a null-pointer guard, so this must track the pre-trace-layer
+// cost), 1 = ring-buffered JSONL sink, 2 = Chrome sink.  Compare arg 0
+// against arg 1/2 to see what turning tracing on costs.
+void BM_TracedRoundAgreement(benchmark::State& state) {
+  const int n = 16;
+  const int sink_kind = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<SyncProcess>> procs;
+    for (ProcessId p = 0; p < n; ++p) {
+      procs.push_back(std::make_unique<RoundAgreementProcess>(p));
+    }
+    SyncSimulator sim(SyncConfig{.seed = 1, .record_states = false},
+                      std::move(procs));
+    JsonlTraceSink jsonl(/*capacity=*/4096);
+    ChromeTraceSink chrome;
+    if (sink_kind == 1) sim.set_trace_sink(&jsonl);
+    if (sink_kind == 2) sim.set_trace_sink(&chrome);
+    sim.run_rounds(20);
+    benchmark::DoNotOptimize(sim.history().length());
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_TracedRoundAgreement)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_SnapshotBytes(benchmark::State& state) {
   auto protocol = std::make_shared<FloodSetConsensus>(3);
   CompiledProcess proc(0, 16, protocol, int_inputs());
@@ -185,9 +213,10 @@ BENCHMARK(BM_SnapshotBytes);
 }  // namespace ftss
 
 int main(int argc, char** argv) {
+  ftss::bench::JsonEmitter json("overhead", &argc, argv);
   ftss::print_wire_overhead();
   ftss::print_ablation();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  json.run_benchmarks();
+  return json.finish();
 }

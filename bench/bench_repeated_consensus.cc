@@ -115,8 +115,9 @@ BENCHMARK(BM_RepeatedInstances)->Arg(3)->Arg(5)->Arg(9);
 }  // namespace ftss
 
 int main(int argc, char** argv) {
+  ftss::bench::JsonEmitter json("repeated_consensus", &argc, argv);
   ftss::print_exp9();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  json.run_benchmarks();
+  return json.finish();
 }

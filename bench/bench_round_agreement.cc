@@ -11,6 +11,7 @@
 #include "bench_util.h"
 #include "core/predicates.h"
 #include "core/round_agreement.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -37,6 +38,7 @@ struct Cell {
   double mean_stab = 0;
   bool all_ftss_ok = true;
   int unstable = 0;
+  std::vector<Round> stabs;  // per-seed latencies, for the histogram
 };
 
 struct SeedResult {
@@ -84,6 +86,7 @@ Cell run_cell(int n, int f, std::int64_t magnitude, int seeds) {
     cell.all_ftss_ok &= r.ftss_ok;
     if (r.stab) {
       cell.max_stab = std::max(cell.max_stab, *r.stab);
+      cell.stabs.push_back(*r.stab);
       total += static_cast<double>(*r.stab);
       ++counted;
     } else {
@@ -94,16 +97,26 @@ Cell run_cell(int n, int f, std::int64_t magnitude, int seeds) {
   return cell;
 }
 
-void print_exp1() {
+void print_exp1(bench::JsonEmitter& json) {
   bench::Table table(
       "EXP1 (Fig 1, Thm 3): round-agreement stabilization time, paper bound = 1 round",
       {"n", "f", "corruption", "seeds", "max stab", "mean stab",
        "<= bound", "ftss(Def2.4) ok"});
   const int seeds = 20;
+  MetricsRegistry reg;  // aggregate stabilization latencies across all cells
+  bool all_bounded = true;
+  bool all_ftss = true;
   for (int n : {4, 8, 16, 32, 64}) {
     const int f = (n - 1) / 2;
     for (std::int64_t magnitude : {10LL, 1000LL, 1000000LL}) {
       Cell cell = run_cell(n, f, magnitude, seeds);
+      for (Round s : cell.stabs) {
+        reg.observe("stabilization_latency", s, stabilization_latency_bounds());
+      }
+      reg.add("seeds_total", seeds);
+      reg.add("seeds_unstable", cell.unstable);
+      all_bounded &= cell.max_stab <= 1 && cell.unstable == 0;
+      all_ftss &= cell.all_ftss_ok;
       table.add_row({bench::fmt(static_cast<std::int64_t>(n)),
                      bench::fmt(static_cast<std::int64_t>(f)),
                      bench::fmt(magnitude),
@@ -114,6 +127,17 @@ void print_exp1() {
     }
   }
   table.print();
+  // Theorem 3 in machine-readable form: the whole histogram mass must sit
+  // at <= 1 round (max of the latency histogram is the max over all seeds).
+  const MetricsSnapshot& snap = reg.snapshot();
+  const auto it = snap.histograms.find("stabilization_latency");
+  const bool mass_at_most_1 =
+      it != snap.histograms.end() && it->second.count > 0 &&
+      it->second.max <= 1 && snap.counters.at("seeds_unstable") == 0;
+  json.set_metrics(snap.to_value());
+  json.add_check("thm3_stabilization_mass_at_most_1_round", mass_at_most_1);
+  json.add_check("thm3_all_cells_within_bound", all_bounded);
+  json.add_check("def24_ftss_holds_all_cells", all_ftss);
 }
 
 // Substrate timing: cost of one simulated all-to-all round.
@@ -144,8 +168,9 @@ BENCHMARK(BM_FtssCheck);
 }  // namespace ftss
 
 int main(int argc, char** argv) {
-  ftss::print_exp1();
+  ftss::bench::JsonEmitter json("round_agreement", &argc, argv);
+  ftss::print_exp1(json);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  json.run_benchmarks();
+  return json.finish();
 }

@@ -148,9 +148,10 @@ BENCHMARK(BM_CompiledLeaderElection)->Arg(4)->Arg(16);
 }  // namespace ftss
 
 int main(int argc, char** argv) {
+  ftss::bench::JsonEmitter json("services", &argc, argv);
   ftss::print_leader_handover();
   ftss::print_commit_availability();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  json.run_benchmarks();
+  return json.finish();
 }

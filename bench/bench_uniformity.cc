@@ -96,8 +96,9 @@ BENCHMARK(BM_UniformRound);
 }  // namespace ftss
 
 int main(int argc, char** argv) {
+  ftss::bench::JsonEmitter json("uniformity", &argc, argv);
   ftss::print_exp4();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  json.run_benchmarks();
+  return json.finish();
 }

@@ -5,14 +5,32 @@
 // paper is theory-only, so "reproduction" = empirical validation of each
 // theorem/protocol's claimed behavior), then runs google-benchmark timings
 // for the substrate operations involved.
+//
+// Machine-readable output: every bench accepts `--json PATH` and then also
+// writes a BENCH_*.json document (schema "ftss-bench-v1") containing the
+// printed tables, pass/fail checks, optional metrics, and per-benchmark
+// timings — the perf-trajectory record compared across PRs.  Wire-up per
+// binary is three lines: construct a JsonEmitter before printing tables,
+// run benchmarks through it, return finish().
 #pragma once
+
+#include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "util/value.h"
+
 namespace ftss::bench {
+
+class JsonEmitter;
+inline JsonEmitter*& active_emitter() {
+  static JsonEmitter* active = nullptr;
+  return active;
+}
 
 class Table {
  public:
@@ -20,6 +38,10 @@ class Table {
       : title_(std::move(title)), columns_(std::move(columns)) {}
 
   void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   void print() const {
     std::vector<std::size_t> width(columns_.size());
@@ -46,9 +68,12 @@ class Table {
     std::printf("\n");
     for (const auto& row : rows_) print_row(row);
     std::fflush(stdout);
+    record();  // mirrored into the active JsonEmitter, if any
   }
 
  private:
+  void record() const;
+
   std::string title_;
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
@@ -61,5 +86,127 @@ inline std::string fmt(double v) {
   return buf;
 }
 inline std::string pass(bool ok) { return ok ? "yes" : "NO"; }
+
+// Collects the bench's printed tables, explicit pass/fail checks, optional
+// structured metrics, and google-benchmark timings; writes them as one JSON
+// document when the binary was invoked with `--json PATH` (the flag is
+// stripped before benchmark::Initialize sees it).
+class JsonEmitter {
+ public:
+  JsonEmitter(std::string bench_name, int* argc, char** argv)
+      : name_(std::move(bench_name)) {
+    for (int i = 1; i < *argc; ++i) {
+      if (std::string(argv[i]) == "--json" && i + 1 < *argc) {
+        path_ = argv[i + 1];
+        for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+        *argc -= 2;
+        break;
+      }
+    }
+    active_emitter() = this;
+  }
+  ~JsonEmitter() {
+    if (active_emitter() == this) active_emitter() = nullptr;
+  }
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add_table(const std::string& title,
+                 const std::vector<std::string>& columns,
+                 const std::vector<std::vector<std::string>>& rows) {
+    Value t;
+    t["title"] = Value(title);
+    Value::Array cols, rws;
+    for (const auto& c : columns) cols.push_back(Value(c));
+    for (const auto& row : rows) {
+      Value::Array cells;
+      for (const auto& cell : row) cells.push_back(Value(cell));
+      rws.push_back(Value(std::move(cells)));
+    }
+    t["columns"] = Value(std::move(cols));
+    t["rows"] = Value(std::move(rws));
+    tables_.push_back(std::move(t));
+  }
+
+  // A named boolean acceptance check ("paper bound respected").  The JSON
+  // records it; failing checks also fail the process exit code.
+  void add_check(const std::string& name, bool ok) {
+    Value c;
+    c["name"] = Value(name);
+    c["pass"] = Value(ok);
+    checks_.push_back(std::move(c));
+    if (!ok) any_check_failed_ = true;
+  }
+
+  // Attach a structured metrics document (e.g. MetricsSnapshot::to_value).
+  void set_metrics(Value metrics) { metrics_ = std::move(metrics); }
+
+  // Run google-benchmark through a collecting reporter so per-benchmark
+  // timings land in the JSON (console output is unchanged).
+  void run_benchmarks() {
+    Collector reporter(this);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+
+  // Writes the document if --json was given.  Returns the process exit
+  // code: 0 unless a check failed or the file could not be written.
+  int finish() {
+    if (path_.empty()) return any_check_failed_ ? 1 : 0;
+    Value doc;
+    doc["schema"] = Value("ftss-bench-v1");
+    doc["bench"] = Value(name_);
+    doc["tables"] = Value(std::move(tables_));
+    doc["checks"] = Value(std::move(checks_));
+    if (!metrics_.is_null()) doc["metrics"] = std::move(metrics_);
+    doc["timings"] = Value(std::move(timings_));
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return 1;
+    }
+    out << doc.to_string() << "\n";
+    std::printf("wrote %s\n", path_.c_str());
+    return any_check_failed_ ? 1 : 0;
+  }
+
+ private:
+  class Collector : public benchmark::ConsoleReporter {
+   public:
+    explicit Collector(JsonEmitter* emitter) : emitter_(emitter) {}
+    void ReportRuns(const std::vector<Run>& runs) override {
+      for (const Run& run : runs) {
+        if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+        const double iters =
+            run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+        Value t;
+        t["name"] = Value(run.benchmark_name());
+        t["iterations"] = Value(static_cast<std::int64_t>(run.iterations));
+        t["real_ns_per_iter"] = Value(
+            static_cast<std::int64_t>(run.real_accumulated_time / iters * 1e9));
+        t["cpu_ns_per_iter"] = Value(
+            static_cast<std::int64_t>(run.cpu_accumulated_time / iters * 1e9));
+        emitter_->timings_.push_back(std::move(t));
+      }
+      ConsoleReporter::ReportRuns(runs);
+    }
+
+   private:
+    JsonEmitter* emitter_;
+  };
+
+  std::string name_;
+  std::string path_;
+  Value::Array tables_;
+  Value::Array checks_;
+  Value metrics_;
+  Value::Array timings_;
+  bool any_check_failed_ = false;
+};
+
+inline void Table::record() const {
+  if (JsonEmitter* e = active_emitter()) e->add_table(title_, columns_, rows_);
+}
 
 }  // namespace ftss::bench

@@ -152,6 +152,10 @@ std::uint64_t fnv_str(std::uint64_t h, const std::string& s) {
 }  // namespace
 
 TrialResult run_trial(const TrialPlan& plan) {
+  return run_trial(plan, TrialRunOptions{});
+}
+
+TrialResult run_trial(const TrialPlan& plan, const TrialRunOptions& options) {
   TrialResult result;
   result.plan = plan;
 
@@ -181,9 +185,10 @@ TrialResult run_trial(const TrialPlan& plan) {
 
   SyncConfig config;
   config.seed = plan.trial_seed;
-  config.record_states = false;
+  config.record_states = options.record_states;
   config.max_extra_delay = plan.max_extra_delay;
   SyncSimulator sim(config, std::move(procs));
+  sim.set_trace_sink(options.trace);
   for (const auto& c : plan.corruptions) {
     sim.corrupt_state(c.process, corruption_value(c));
   }
@@ -193,6 +198,21 @@ TrialResult run_trial(const TrialPlan& plan) {
   }
   sim.run_rounds(plan.rounds);
   result.evaluation = evaluate_trial(sim, plan);
+  if (options.history_out != nullptr) *options.history_out = sim.history();
+
+  MetricsRegistry reg;
+  record_history_metrics(sim.history(), reg);
+  reg.add("trials");
+  reg.add(std::string("trials_mode_") + to_string(plan.mode), 1);
+  if (!result.evaluation.ok()) reg.add("trials_failing");
+  for (const auto& v : result.evaluation.violations) {
+    reg.add("violations_" + v.oracle);
+  }
+  if (result.evaluation.stabilization) {
+    reg.observe("stabilization_latency", *result.evaluation.stabilization,
+                stabilization_latency_bounds());
+  }
+  result.metrics = reg.snapshot();
   return result;
 }
 
@@ -237,6 +257,7 @@ ExplorerReport explore(const ExplorerConfig& config) {
   for (int i = 0; i < static_cast<int>(results.size()); ++i) {
     const TrialResult& r = results[i];
     fold_coverage(r.plan, report.coverage);
+    report.metrics.merge(r.metrics);
 
     fp = fnv(fp, r.plan.trial_seed);
     fp = fnv(fp, r.evaluation.ok() ? 1 : 2);

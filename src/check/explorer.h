@@ -21,18 +21,33 @@
 #include "check/adversary.h"
 #include "check/oracles.h"
 #include "check/plan.h"
+#include "obs/metrics.h"
 
 namespace ftss {
+
+class TraceSink;
 
 struct TrialResult {
   TrialPlan plan;
   TrialEvaluation evaluation;
+  // Per-trial observability snapshot: history-derived message/coterie
+  // counters plus trial outcome counters and the stabilization-latency
+  // histogram.  Merging these in trial-index order is the explorer's
+  // deterministic aggregate (ExplorerReport::metrics).
+  MetricsSnapshot metrics;
+};
+
+struct TrialRunOptions {
+  TraceSink* trace = nullptr;  // non-owning; receives the run's event stream
+  bool record_states = false;  // full state snapshots in the history
+  History* history_out = nullptr;  // receives the recorded history if set
 };
 
 // Runs one trial end-to-end: builds the system the plan describes (real or
 // deliberately weakened), injects corruptions and fault plans, executes
 // plan.rounds rounds, evaluates every applicable oracle.
 TrialResult run_trial(const TrialPlan& plan);
+TrialResult run_trial(const TrialPlan& plan, const TrialRunOptions& options);
 
 struct ShrinkResult {
   TrialPlan plan;        // minimal plan still failing the same way
@@ -89,6 +104,9 @@ struct ExplorerReport {
   std::vector<FailureReport> failures;
   std::vector<NearMiss> near_misses;  // top 5 by stabilization/bound
   std::uint64_t fingerprint = 0;
+  // Fold of every trial's MetricsSnapshot in trial-index order; identical
+  // (same fingerprint()) for any worker-thread count.
+  MetricsSnapshot metrics;
 
   std::string summary() const;
 };

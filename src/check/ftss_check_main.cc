@@ -18,6 +18,7 @@
 #include <string>
 
 #include "check/explorer.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -27,15 +28,50 @@ void usage() {
          "  --trials N       number of trials (default 1000)\n"
          "  --seed S         run seed (default 42)\n"
          "  --jobs J         worker threads (default: hardware)\n"
+         "  --threads J      alias for --jobs\n"
          "  --mode M         all|sync|jitter|compiled (default all)\n"
          "  --weakened W     none|ra-max|no-tags (default none)\n"
          "  --no-shrink      report failures without shrinking\n"
          "  --max-failures K failures to keep and shrink (default 5)\n"
          "  --replay FILE    run one plan from a JSON file and exit\n"
-         "  --dump-trial I   print the I-th sampled plan and exit\n";
+         "  --dump-trial I   print the I-th sampled plan and exit\n"
+         "  --metrics-out F  write the aggregated metrics snapshot as JSON\n"
+         "                   (deterministic: identical for any --threads)\n"
+         "  --trace-out F    with --replay: write the replay's event trace\n"
+         "                   (.jsonl -> JSONL, otherwise Chrome trace_event)\n";
 }
 
-int replay(const std::string& path) {
+bool write_file(const std::string& path, const std::string& contents,
+                const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "ftss_check: cannot write " << what << " to " << path << "\n";
+    return false;
+  }
+  out << contents;
+  return true;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string metrics_json(const ftss::MetricsSnapshot& metrics,
+                         std::uint64_t run_seed, int trials) {
+  ftss::Value doc;
+  doc["schema"] = ftss::Value("ftss-metrics-v1");
+  doc["seed"] = ftss::Value(static_cast<std::int64_t>(run_seed));
+  doc["trials"] = ftss::Value(trials);
+  std::ostringstream fp;
+  fp << "0x" << std::hex << metrics.fingerprint();
+  doc["fingerprint"] = ftss::Value(fp.str());
+  doc["metrics"] = metrics.to_value();
+  return doc.to_string() + "\n";
+}
+
+int replay(const std::string& path, const std::string& trace_path,
+           const std::string& metrics_path) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "ftss_check: cannot open " << path << "\n";
@@ -54,7 +90,26 @@ int replay(const std::string& path) {
     return 2;
   }
   std::cout << plan->describe();
-  const ftss::TrialResult result = ftss::run_trial(*plan);
+
+  ftss::JsonlTraceSink jsonl;
+  ftss::ChromeTraceSink chrome;
+  ftss::TrialRunOptions options;
+  const bool want_jsonl = ends_with(trace_path, ".jsonl");
+  if (!trace_path.empty()) {
+    options.trace = want_jsonl ? static_cast<ftss::TraceSink*>(&jsonl)
+                               : static_cast<ftss::TraceSink*>(&chrome);
+  }
+  const ftss::TrialResult result = ftss::run_trial(*plan, options);
+  if (!trace_path.empty() &&
+      !write_file(trace_path, want_jsonl ? jsonl.to_string() : chrome.to_string(),
+                  "trace")) {
+    return 2;
+  }
+  if (!metrics_path.empty() &&
+      !write_file(metrics_path, metrics_json(result.metrics, plan->trial_seed, 1),
+                  "metrics")) {
+    return 2;
+  }
   if (result.evaluation.ok()) {
     std::cout << "PASS";
     if (result.evaluation.stabilization) {
@@ -73,6 +128,8 @@ int replay(const std::string& path) {
 int main(int argc, char** argv) {
   ftss::ExplorerConfig config;
   std::string replay_path;
+  std::string trace_path;
+  std::string metrics_path;
   int dump_trial = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -88,7 +145,7 @@ int main(int argc, char** argv) {
       config.trials = std::atoi(next());
     } else if (arg == "--seed") {
       config.seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--jobs") {
+    } else if (arg == "--jobs" || arg == "--threads") {
       config.jobs = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--mode") {
       const std::string m = next();
@@ -113,6 +170,10 @@ int main(int argc, char** argv) {
       config.max_failures = std::atoi(next());
     } else if (arg == "--replay") {
       replay_path = next();
+    } else if (arg == "--trace-out") {
+      trace_path = next();
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
     } else if (arg == "--dump-trial") {
       dump_trial = std::atoi(next());
     } else {
@@ -121,7 +182,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!replay_path.empty()) return replay(replay_path);
+  if (!trace_path.empty() && replay_path.empty()) {
+    std::cerr << "ftss_check: --trace-out requires --replay (traces are "
+                 "per-execution; use ftss_trace for saved plans)\n";
+    return 2;
+  }
+
+  if (!replay_path.empty()) {
+    return replay(replay_path, trace_path, metrics_path);
+  }
 
   if (dump_trial >= 0) {
     const ftss::TrialPlan plan =
@@ -133,6 +202,13 @@ int main(int argc, char** argv) {
 
   const ftss::ExplorerReport report = ftss::explore(config);
   std::cout << report.summary();
+
+  if (!metrics_path.empty() &&
+      !write_file(metrics_path,
+                  metrics_json(report.metrics, config.seed, report.trials),
+                  "metrics")) {
+    return 2;
+  }
 
   if (config.weakened == ftss::WeakenedKind::kNone) {
     return report.failing_trials > 0 ? 1 : 0;

@@ -54,6 +54,7 @@ class CompiledProcess : public SyncProcess {
   const std::vector<DecisionRecord>& decisions() const { return decisions_; }
 
   const std::set<ProcessId>& suspects() const { return suspect_; }
+  const std::set<ProcessId>* suspect_set() const override { return &suspect_; }
 
  private:
   std::int64_t iteration_of(Round c) const;

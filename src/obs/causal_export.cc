@@ -1,0 +1,181 @@
+#include "obs/causal_export.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace ftss {
+
+namespace {
+
+std::string node(ProcessId p, Round r) {
+  return "p" + std::to_string(p) + "_r" + std::to_string(r);
+}
+
+}  // namespace
+
+void export_causal_dot(std::ostream& os, const History& h,
+                       CausalDotOptions options) {
+  const Round from = std::max<Round>(options.from_round, 1);
+  const Round to = options.to_round > 0 ? std::min(options.to_round, h.length())
+                                        : h.length();
+  const std::vector<bool> coterie =
+      h.rounds.empty() ? std::vector<bool>(h.n, false)
+                       : h.rounds.back().coterie;
+  const std::vector<Round> changes = h.coterie_change_rounds();
+
+  os << "// happened-before DAG (Definition 2.3); doubled nodes = final\n"
+        "// coterie members, dashed red rounds = coterie changes\n"
+        "digraph happened_before {\n"
+        "  rankdir=LR;\n"
+        "  node [shape=box, fontsize=10];\n";
+
+  for (Round r = from; r <= to; ++r) {
+    const RoundRecord& rec = h.at(r);
+    if (options.cluster_rounds) {
+      const bool change =
+          std::find(changes.begin(), changes.end(), r) != changes.end();
+      os << "  subgraph cluster_r" << r << " {\n    label=\"round " << r
+         << "\";\n";
+      if (change) os << "    color=red; style=dashed;\n";
+    }
+    for (ProcessId p = 0; p < h.n; ++p) {
+      if (!rec.alive[p]) continue;
+      os << (options.cluster_rounds ? "    " : "  ") << node(p, r)
+         << " [label=\"p" << p;
+      if (rec.clock[p]) os << "\\nc=" << *rec.clock[p];
+      os << "\"";
+      if (coterie[p]) os << ", peripheries=2";
+      if (rec.halted[p]) os << ", style=dotted";
+      os << "];\n";
+    }
+    if (options.cluster_rounds) os << "  }\n";
+  }
+
+  // Program order.
+  for (Round r = from; r < to; ++r) {
+    const RoundRecord& rec = h.at(r);
+    const RoundRecord& next = h.at(r + 1);
+    for (ProcessId p = 0; p < h.n; ++p) {
+      if (!rec.alive[p] || !next.alive[p]) continue;
+      os << "  " << node(p, r) << " -> " << node(p, r + 1)
+         << " [style=bold, color=gray];\n";
+    }
+  }
+
+  // Message order: delivered sends only (sends recorded in the round of
+  // their *delivery*; jittered edges span multiple clusters).
+  for (Round r = from; r <= to; ++r) {
+    for (const SendRecord& s : h.at(r).sends) {
+      if (!s.delivered || s.sender == s.dest) continue;
+      if (s.sent_round < from) continue;
+      os << "  " << node(s.sender, s.sent_round) << " -> "
+         << node(s.dest, s.delivery_round);
+      if (s.delivery_round != s.sent_round) {
+        os << " [label=\"+" << (s.delivery_round - s.sent_round) << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+
+  os << "}\n";
+}
+
+std::string causal_dot_to_string(const History& h, CausalDotOptions options) {
+  std::ostringstream os;
+  export_causal_dot(os, h, options);
+  return os.str();
+}
+
+namespace {
+
+Value flow_record(const char* name, const char* ph, std::int64_t ts,
+                  std::int64_t tid) {
+  Value v;
+  v["name"] = Value(name);
+  v["ph"] = Value(ph);
+  v["pid"] = Value(0);
+  v["tid"] = Value(tid);
+  v["ts"] = Value(ts);
+  return v;
+}
+
+}  // namespace
+
+void export_chrome_flows(std::ostream& os, const History& h,
+                         ChromeFlowOptions options) {
+  const std::int64_t us = std::max<std::int64_t>(options.us_per_round, 4);
+  Value::Array out;
+
+  for (ProcessId p = 0; p < h.n; ++p) {
+    Value meta = flow_record("thread_name", "M", 0, p);
+    meta["args"]["name"] = Value("process " + std::to_string(p));
+    out.push_back(std::move(meta));
+  }
+
+  // Per-(round, process) slices carrying the clock value, so the flow
+  // arrows have slices to attach to and the timeline doubles as a clock
+  // table.
+  for (const RoundRecord& rec : h.rounds) {
+    const std::int64_t ts = rec.round * us;
+    for (ProcessId p = 0; p < h.n; ++p) {
+      if (!rec.alive[p]) continue;
+      std::string label = "r" + std::to_string(rec.round);
+      if (rec.clock[p]) label += " c=" + std::to_string(*rec.clock[p]);
+      Value span = flow_record(label.c_str(), "X", ts, p);
+      span["dur"] = Value(us);
+      out.push_back(std::move(span));
+    }
+  }
+
+  // Message edges as flows; drops as instants with their cause.
+  std::int64_t flow_id = 0;
+  for (const RoundRecord& rec : h.rounds) {
+    for (const SendRecord& s : rec.sends) {
+      if (s.delivered && s.sender != s.dest) {
+        const std::int64_t id = flow_id++;
+        Value start =
+            flow_record("msg", "s", s.sent_round * us + us / 4, s.sender);
+        start["id"] = Value(id);
+        out.push_back(std::move(start));
+        Value finish = flow_record(
+            "msg", "f", s.delivery_round * us + (3 * us) / 4, s.dest);
+        finish["id"] = Value(id);
+        finish["bp"] = Value("e");
+        out.push_back(std::move(finish));
+      } else if (!s.delivered) {
+        Value inst = flow_record("drop", "i",
+                                 s.delivery_round * us + (3 * us) / 4, s.dest);
+        inst["s"] = Value("t");
+        inst["args"]["cause"] =
+            Value(s.dropped_by_sender
+                      ? "send-omission"
+                      : (s.dropped_by_receiver ? "receive-omission"
+                                               : "dest-crashed"));
+        inst["args"]["sender"] = Value(s.sender);
+        inst["args"]["sent_round"] = Value(s.sent_round);
+        out.push_back(std::move(inst));
+      }
+    }
+  }
+
+  // De-stabilizing events.
+  for (Round r : h.coterie_change_rounds()) {
+    Value inst = flow_record("coterie change", "i", r * us + us - 1, 0);
+    inst["s"] = Value("g");
+    out.push_back(std::move(inst));
+  }
+
+  Value doc;
+  doc["traceEvents"] = Value(std::move(out));
+  doc["displayTimeUnit"] = Value("ms");
+  os << doc.to_string() << "\n";
+}
+
+std::string chrome_flows_to_string(const History& h, ChromeFlowOptions options) {
+  std::ostringstream os;
+  export_chrome_flows(os, h, options);
+  return os.str();
+}
+
+}  // namespace ftss

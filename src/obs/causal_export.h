@@ -1,0 +1,47 @@
+// Happened-before DAG export (Definition 2.3's ->_H relation) from a
+// recorded History.
+//
+// Nodes are (process, round) events; edges are program order (p@r -> p@r+1
+// while p is alive) and message order (sender@sent_round -> dest@delivery
+// round for every *delivered* send — drops do not create causality).  The
+// coterie of the full history is exactly the set of processes with a path
+// to every correct process, so the DOT rendering highlights coterie members
+// and annotates the rounds where the coterie changed; a wrong coterie
+// becomes visible as a missing path.
+//
+// Two formats:
+//  * export_causal_dot    — Graphviz digraph for offline auditing;
+//  * export_chrome_flows  — Chrome trace_event JSON whose "s"/"f" flow
+//    arrows are precisely the message edges (load in chrome://tracing or
+//    https://ui.perfetto.dev).  Built straight from the History, so saved
+//    histories can be visualized without re-running with a live sink.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/history.h"
+
+namespace ftss {
+
+struct CausalDotOptions {
+  Round from_round = 1;
+  Round to_round = 0;     // 0 = end of history
+  bool cluster_rounds = true;  // rank-align nodes of the same round
+};
+
+void export_causal_dot(std::ostream& os, const History& h,
+                       CausalDotOptions options = {});
+std::string causal_dot_to_string(const History& h,
+                                 CausalDotOptions options = {});
+
+struct ChromeFlowOptions {
+  std::int64_t us_per_round = 1000;
+};
+
+void export_chrome_flows(std::ostream& os, const History& h,
+                         ChromeFlowOptions options = {});
+std::string chrome_flows_to_string(const History& h,
+                                   ChromeFlowOptions options = {});
+
+}  // namespace ftss

@@ -1,0 +1,161 @@
+// ftss_trace: replay a saved adversary plan (e.g. a shrunk reproducer
+// printed by ftss_check) and emit its observability artifacts.
+//
+//   ftss_trace --plan plan.json --chrome trace.json   # chrome://tracing
+//   ftss_trace --plan plan.json --jsonl trace.jsonl   # structured JSONL
+//   ftss_trace --plan plan.json --dot hb.dot          # happened-before DAG
+//   ftss_trace --plan plan.json --metrics m.json --dump
+//
+// Exit code 0 iff the replayed plan passes its oracles (same convention as
+// ftss_check --replay), so tracing a pinned reproducer doubles as a check.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "check/explorer.h"
+#include "obs/causal_export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/history_dump.h"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: ftss_trace --plan FILE [outputs]\n"
+               "  --plan FILE     replayable plan JSON (ftss_check format)\n"
+               "  --jsonl FILE    structured JSONL event trace\n"
+               "  --chrome FILE   Chrome trace_event JSON (tracing/Perfetto)\n"
+               "  --dot FILE      happened-before DAG as Graphviz DOT\n"
+               "  --metrics FILE  metrics snapshot JSON\n"
+               "  --ring N        keep only the newest N JSONL events\n"
+               "  --dump          print the history table (with sends and\n"
+               "                  suspect sets) to stdout\n";
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "ftss_trace: cannot write " << path << "\n";
+    return false;
+  }
+  out << contents;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string plan_path, jsonl_path, chrome_path, dot_path, metrics_path;
+  std::size_t ring = 0;
+  bool dump = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "ftss_trace: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--plan") {
+      plan_path = next();
+    } else if (arg == "--jsonl") {
+      jsonl_path = next();
+    } else if (arg == "--chrome") {
+      chrome_path = next();
+    } else if (arg == "--dot") {
+      dot_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--ring") {
+      ring = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--dump") {
+      dump = true;
+    } else {
+      usage();
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  if (plan_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream in(plan_path);
+  if (!in) {
+    std::cerr << "ftss_trace: cannot open " << plan_path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = ftss::Value::parse(buffer.str());
+  const auto plan =
+      parsed ? ftss::TrialPlan::from_value(*parsed) : std::nullopt;
+  if (!plan) {
+    std::cerr << "ftss_trace: " << plan_path << " is not a replayable plan\n";
+    return 2;
+  }
+  std::cout << plan->describe();
+
+  // One simulator run feeds every requested backend: JSONL and Chrome sinks
+  // both observe it via a small tee, and the DOT/flow exports read the
+  // recorded history afterwards.
+  ftss::JsonlTraceSink jsonl(ring);
+  ftss::ChromeTraceSink chrome;
+  struct Tee : ftss::TraceSink {
+    ftss::TraceSink* a = nullptr;
+    ftss::TraceSink* b = nullptr;
+    void event(const ftss::TraceEvent& e) override {
+      if (a != nullptr) a->event(e);
+      if (b != nullptr) b->event(e);
+    }
+  } tee;
+  if (!jsonl_path.empty()) tee.a = &jsonl;
+  if (!chrome_path.empty()) tee.b = &chrome;
+
+  ftss::History history;
+  ftss::TrialRunOptions options;
+  options.record_states = true;  // dumps and DOT need clocks + suspect sets
+  options.history_out = &history;
+  if (tee.a != nullptr || tee.b != nullptr) options.trace = &tee;
+  const ftss::TrialResult result = ftss::run_trial(*plan, options);
+
+  if (!jsonl_path.empty() && !write_file(jsonl_path, jsonl.to_string())) {
+    return 2;
+  }
+  if (!chrome_path.empty() && !write_file(chrome_path, chrome.to_string())) {
+    return 2;
+  }
+  if (!dot_path.empty() &&
+      !write_file(dot_path, ftss::causal_dot_to_string(history))) {
+    return 2;
+  }
+  if (dump) {
+    ftss::DumpOptions d;
+    d.show_sends = true;
+    d.show_suspects = true;
+    std::cout << ftss::history_to_string(history, d);
+  }
+
+  if (!metrics_path.empty()) {
+    ftss::Value doc;
+    doc["schema"] = ftss::Value("ftss-metrics-v1");
+    doc["plan_seed"] =
+        ftss::Value(static_cast<std::int64_t>(plan->trial_seed));
+    std::ostringstream fp;
+    fp << "0x" << std::hex << result.metrics.fingerprint();
+    doc["fingerprint"] = ftss::Value(fp.str());
+    doc["metrics"] = result.metrics.to_value();
+    if (!write_file(metrics_path, doc.to_string() + "\n")) return 2;
+  }
+
+  if (result.evaluation.ok()) {
+    std::cout << "PASS\n";
+    return 0;
+  }
+  std::cout << "FAIL\n" << result.evaluation.describe();
+  return 1;
+}

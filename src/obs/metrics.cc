@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace ftss {
+
+void HistogramData::observe(std::int64_t v) {
+  if (counts.empty()) counts.assign(bounds.size() + 1, 0);
+  std::size_t b = 0;
+  while (b < bounds.size() && v > bounds[b]) ++b;
+  ++counts[b];
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+}
+
+Value HistogramData::to_value() const {
+  Value v;
+  Value::Array bs, cs;
+  for (std::int64_t b : bounds) bs.push_back(Value(b));
+  for (std::int64_t c : counts) cs.push_back(Value(c));
+  v["bounds"] = Value(std::move(bs));
+  v["counts"] = Value(std::move(cs));
+  v["count"] = Value(count);
+  v["sum"] = Value(sum);
+  if (count > 0) {
+    v["min"] = Value(min);
+    v["max"] = Value(max);
+  }
+  return v;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) {
+    auto [it, inserted] = gauges.emplace(name, v);
+    if (!inserted) it->second = std::max(it->second, v);
+  }
+  for (const auto& [name, h] : other.histograms) {
+    auto [it, inserted] = histograms.emplace(name, h);
+    if (inserted) continue;
+    HistogramData& mine = it->second;
+    if (mine.count == 0) {
+      mine = h;
+      continue;
+    }
+    if (h.count == 0) continue;
+    if (mine.bounds == h.bounds) {
+      if (mine.counts.empty()) mine.counts.assign(mine.bounds.size() + 1, 0);
+      for (std::size_t b = 0; b < mine.counts.size() && b < h.counts.size();
+           ++b) {
+        mine.counts[b] += h.counts[b];
+      }
+    } else {
+      // Layout mismatch: keep the union meaningful at the scalar level by
+      // degrading to the summary-only histogram (empty bucket layout).
+      mine.bounds.clear();
+      mine.counts.clear();
+    }
+    mine.min = std::min(mine.min, h.min);
+    mine.max = std::max(mine.max, h.max);
+    mine.count += h.count;
+    mine.sum += h.sum;
+  }
+}
+
+Value MetricsSnapshot::to_value() const {
+  Value v;
+  Value cs, gs, hs;
+  for (const auto& [name, c] : counters) cs[name] = Value(c);
+  for (const auto& [name, g] : gauges) gs[name] = Value(g);
+  for (const auto& [name, h] : histograms) hs[name] = h.to_value();
+  v["counters"] = std::move(cs);
+  v["gauges"] = std::move(gs);
+  v["histograms"] = std::move(hs);
+  return v;
+}
+
+void MetricsRegistry::add(const std::string& name, std::int64_t delta) {
+  snap_.counters[name] += delta;
+}
+
+void MetricsRegistry::gauge_max(const std::string& name, std::int64_t v) {
+  auto [it, inserted] = snap_.gauges.emplace(name, v);
+  if (!inserted) it->second = std::max(it->second, v);
+}
+
+void MetricsRegistry::observe(const std::string& name, std::int64_t v,
+                              const std::vector<std::int64_t>& bounds) {
+  auto [it, inserted] = snap_.histograms.emplace(name, HistogramData{});
+  if (inserted) it->second.bounds = bounds;
+  it->second.observe(v);
+}
+
+const std::vector<std::int64_t>& stabilization_latency_bounds() {
+  static const std::vector<std::int64_t> bounds{0, 1, 2, 4, 8, 16, 32};
+  return bounds;
+}
+
+const std::vector<std::int64_t>& coterie_size_bounds() {
+  static const std::vector<std::int64_t> bounds{0, 1, 2, 4, 8, 16, 32, 64};
+  return bounds;
+}
+
+void record_history_metrics(const History& h, MetricsRegistry& m) {
+  m.add("rounds", h.length());
+  std::int64_t suspect_churn = 0;
+  const std::vector<std::vector<ProcessId>>* prev_suspects = nullptr;
+  const std::vector<bool>* prev_coterie = nullptr;
+  for (const RoundRecord& rec : h.rounds) {
+    for (const SendRecord& s : rec.sends) {
+      m.add("msgs_sent");
+      if (s.delivery_round != s.sent_round) m.add("msgs_delayed");
+      if (s.delivered) {
+        m.add("msgs_delivered");
+      } else if (s.dropped_by_sender) {
+        m.add("msgs_dropped_send_omission");
+      } else if (s.dropped_by_receiver) {
+        m.add("msgs_dropped_receive_omission");
+      } else if (s.dest_crashed) {
+        m.add("msgs_dropped_dest_crashed");
+      }
+    }
+    std::int64_t size = 0;
+    for (bool in : rec.coterie) size += in ? 1 : 0;
+    m.observe("coterie_size", size, coterie_size_bounds());
+    m.gauge_max("coterie_size_peak", size);
+    if (prev_coterie != nullptr && *prev_coterie != rec.coterie) {
+      m.add("coterie_changes");
+    }
+    prev_coterie = &rec.coterie;
+    if (!rec.suspects.empty()) {
+      if (prev_suspects != nullptr) {
+        for (std::size_t p = 0;
+             p < rec.suspects.size() && p < prev_suspects->size(); ++p) {
+          if (rec.suspects[p] != (*prev_suspects)[p]) ++suspect_churn;
+        }
+      }
+      prev_suspects = &rec.suspects;
+    }
+  }
+  if (suspect_churn > 0 || prev_suspects != nullptr) {
+    m.add("suspect_churn", suspect_churn);
+  }
+  std::int64_t faulty = 0;
+  for (bool f : h.faulty()) faulty += f ? 1 : 0;
+  m.gauge_max("faulty_processes", faulty);
+}
+
+}  // namespace ftss

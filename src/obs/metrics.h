@@ -1,0 +1,91 @@
+// Stabilization metrics registry: counters, gauges and histograms with a
+// deterministic snapshot-and-merge API.
+//
+// Design constraints, in order:
+//  1. Determinism.  A snapshot serializes to a canonical Value (sorted
+//     names, fixed bucket layout) and merge() is associative and
+//     commutative, so folding per-trial snapshots in trial-index order
+//     yields byte-identical aggregates for any worker-thread count — the
+//     same stable-fingerprint property the explorer guarantees for trial
+//     outcomes.  ftss_check --metrics-out relies on this.
+//  2. No doubles.  All metric values are int64 (Value excludes floating
+//     point so equality stays exact); histogram means etc. are derived by
+//     consumers from count/sum.
+//
+// Merge semantics: counters add; gauges take the max (their use here is
+// high-watermarks like peak coterie size); histograms with identical bounds
+// add bucket-wise (count/sum add, min/max combine).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/history.h"
+#include "util/value.h"
+
+namespace ftss {
+
+struct HistogramData {
+  // Upper bounds of the first size() buckets; a final implicit +inf bucket
+  // follows.  counts.size() == bounds.size() + 1.
+  std::vector<std::int64_t> bounds;
+  std::vector<std::int64_t> counts;
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // meaningful iff count > 0
+  std::int64_t max = 0;
+
+  void observe(std::int64_t v);
+  Value to_value() const;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  // Associative + commutative combine (see header comment).  Histograms
+  // with mismatched bucket layouts merge via their scalar summary only
+  // (count/sum/min/max), keeping the operation total and deterministic.
+  void merge(const MetricsSnapshot& other);
+
+  // Canonical serialization: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {"bounds": [...], "counts": [...], ...}}}.
+  Value to_value() const;
+
+  // Stable content fingerprint (Value::hash of the canonical form).
+  std::uint64_t fingerprint() const { return to_value().hash(); }
+};
+
+// Accumulation-side API.  Not thread-safe by design: each worker owns a
+// registry (or builds per-trial snapshots) and snapshots are merged.
+class MetricsRegistry {
+ public:
+  void add(const std::string& name, std::int64_t delta = 1);
+  // Gauge as high-watermark: keeps the max of all observed values.
+  void gauge_max(const std::string& name, std::int64_t v);
+  // First observation fixes the bucket bounds; later calls ignore `bounds`.
+  void observe(const std::string& name, std::int64_t v,
+               const std::vector<std::int64_t>& bounds);
+
+  const MetricsSnapshot& snapshot() const { return snap_; }
+
+ private:
+  MetricsSnapshot snap_;
+};
+
+// Canonical bucket layouts.
+const std::vector<std::int64_t>& stabilization_latency_bounds();  // rounds
+const std::vector<std::int64_t>& coterie_size_bounds();
+
+// Fold the observer-visible facts of a recorded history into `m`:
+//   msgs_sent / msgs_delivered / msgs_dropped_{send_omission,
+//   receive_omission, dest_crashed} / msgs_delayed (jitter), rounds,
+//   coterie_changes, suspect_churn (membership changes between recorded
+//   suspect sets), histogram coterie_size, gauges coterie_size_peak and
+//   faulty_processes.
+void record_history_metrics(const History& h, MetricsRegistry& m);
+
+}  // namespace ftss

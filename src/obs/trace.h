@@ -1,0 +1,74 @@
+// Concrete TraceSink backends and trace serialization.
+//
+//  * JsonlTraceSink — ring-buffered structured sink: events are kept as
+//    Values (one JSON object per event) in a bounded ring so a long run
+//    traces at O(capacity) memory; write() emits one JSON line per event
+//    (JSONL), parseable back with Value::parse for round-trip tests.
+//  * ChromeTraceSink — accumulates events and writes the Chrome
+//    trace_event JSON format (load in chrome://tracing or Perfetto):
+//    per-round "X" duration spans on a dedicated rounds track, per-process
+//    instant events, and "s"/"f" flow arrows for every delivered message —
+//    the happened-before edges of Definition 2.3 drawn as arrows.
+//
+// Both sinks are deterministic: identical event streams serialize to
+// identical bytes (no wall-clock timestamps; the virtual time axis is the
+// round number).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace.h"
+
+namespace ftss {
+
+// One event as a structured Value: {"ev": kind, "r": round, "p": process,
+// "peer": peer, "aux": aux, "cause": detail, "flow": flow_id, "data": data}
+// with absent/default fields omitted.  Value::parse inverts the JSONL line.
+Value trace_event_to_value(const TraceEvent& e);
+
+class JsonlTraceSink : public TraceSink {
+ public:
+  // capacity 0 = unbounded; otherwise the ring keeps the newest `capacity`
+  // events and counts what it had to evict.
+  explicit JsonlTraceSink(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void event(const TraceEvent& e) override;
+
+  const std::deque<Value>& events() const { return events_; }
+  std::size_t dropped_events() const { return dropped_; }
+
+  // One compact JSON object per line.
+  void write(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+  std::deque<Value> events_;
+};
+
+struct ChromeTraceOptions {
+  // Virtual microseconds per simulated round (the trace's time axis).
+  std::int64_t us_per_round = 1000;
+};
+
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(ChromeTraceOptions options = {})
+      : options_(options) {}
+
+  void event(const TraceEvent& e) override;
+
+  // Complete {"traceEvents": [...]} document.
+  void write(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  ChromeTraceOptions options_;
+  std::deque<TraceEvent> events_;
+};
+
+}  // namespace ftss

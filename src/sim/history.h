@@ -42,6 +42,11 @@ struct RoundRecord {
 
   std::vector<SendRecord> sends;
 
+  // Per-process §2.4 suspect sets at the start of the round, for processes
+  // exposing one (Π⁺; see SyncProcess::suspect_set).  Empty when no process
+  // in the system maintains a suspect set or state recording is off.
+  std::vector<std::vector<ProcessId>> suspects;
+
   // Processes whose fault plan has *manifested* (crash occurred or an
   // omission actually dropped a message) in any round <= this one.  This is
   // F(H', Π) for the r-prefix H'.

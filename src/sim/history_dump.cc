@@ -45,6 +45,20 @@ void dump_history(std::ostream& os, const History& h, DumpOptions options) {
       os << "}";
     }
     os << "\n";
+    if (options.show_suspects && !rec.suspects.empty()) {
+      os << "        suspects:";
+      for (int p = 0; p < h.n && p < static_cast<int>(rec.suspects.size());
+           ++p) {
+        if (!rec.alive[p]) continue;
+        os << " " << p << ":{";
+        for (std::size_t i = 0; i < rec.suspects[p].size(); ++i) {
+          if (i > 0) os << ",";
+          os << rec.suspects[p][i];
+        }
+        os << "}";
+      }
+      os << "\n";
+    }
     if (options.show_sends) {
       for (const auto& s : rec.sends) {
         os << "        " << s.sender << " -> " << s.dest << " ";
@@ -56,6 +70,13 @@ void dump_history(std::ostream& os, const History& h, DumpOptions options) {
           os << "DROPPED (receive omission)";
         } else if (s.dest_crashed) {
           os << "LOST (dest crashed)";
+        }
+        // Jitter-delayed messages resolve in a later round than they were
+        // sent; show the send round and delay so they are distinguishable
+        // from same-round deliveries.
+        if (s.delivery_round != s.sent_round) {
+          os << " (sent @" << s.sent_round << ", delay "
+             << (s.delivery_round - s.sent_round) << ")";
         }
         if (!s.payload.is_null()) os << "  " << s.payload;
         os << "\n";

@@ -15,7 +15,10 @@ struct DumpOptions {
   Round to_round = 0;        // 0 = end of history
   bool show_coterie = true;
   bool show_faulty = true;
-  bool show_sends = false;   // per-message lines (verbose)
+  bool show_sends = false;   // per-message lines (verbose): fate + cause,
+                             // with "(sent @r, delay k)" for jittered ones
+  bool show_suspects = false;  // per-process §2.4 suspect sets (Π⁺ runs;
+                               // requires SyncConfig.record_states)
 };
 
 // Renders one row per round: clocks of live processes, halted/crashed

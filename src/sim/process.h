@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "sim/types.h"
@@ -50,6 +51,11 @@ class SyncProcess {
   // "self-check and halt" — the technique Theorem 2 rules out).  A halted
   // process sends nothing and ignores deliveries but is not crashed.
   virtual bool halted() const { return false; }
+
+  // The §2.4 suspect set, for protocols that maintain one (the Π⁺ compiler
+  // output).  The observer records it into histories and traces; nullptr
+  // means the protocol has no such set.
+  virtual const std::set<ProcessId>* suspect_set() const { return nullptr; }
 };
 
 }  // namespace ftss

@@ -38,8 +38,42 @@ SyncSimulator::SyncSimulator(SyncConfig config,
       processes_(std::move(processes)),
       plans_(processes_.size()),
       fault_manifested_(processes_.size(), false),
-      causality_(static_cast<int>(processes_.size())) {
+      causality_(static_cast<int>(processes_.size())),
+      last_suspects_(processes_.size()) {
   history_.n = static_cast<int>(processes_.size());
+  for (const auto& p : processes_) {
+    if (p->suspect_set() != nullptr) any_suspects_ = true;
+  }
+}
+
+// Fault manifestation is a trace event exactly once per process (the round
+// its plan first deviates — F(H') growing, in the paper's terms).
+void SyncSimulator::mark_faulty(ProcessId p, Round r, const char* cause) {
+  if (!fault_manifested_[p]) {
+    fault_manifested_[p] = true;
+    if (trace_ != nullptr) {
+      trace_->event(TraceEvent{.kind = TraceEventKind::kFaultManifest,
+                               .round = r,
+                               .process = p,
+                               .detail = cause,
+                               .data = {}});
+    }
+  }
+}
+
+// Out-of-line so the Value-bearing TraceEvent construction stays off the
+// message hot path (see header comment).
+__attribute__((noinline)) void SyncSimulator::trace_message(
+    TraceEventKind kind, Round r, ProcessId sender, ProcessId dest,
+    Round sent_round, const char* cause, std::int64_t flow_id) {
+  trace_->event(TraceEvent{.kind = kind,
+                           .round = r,
+                           .process = sender,
+                           .peer = dest,
+                           .aux = sent_round,
+                           .detail = cause,
+                           .flow_id = flow_id,
+                           .data = {}});
 }
 
 void SyncSimulator::set_fault_plan(ProcessId p, FaultPlan plan) {
@@ -83,6 +117,15 @@ bool SyncSimulator::receive_dropped(ProcessId s, ProcessId d, Round r) {
 }
 
 void SyncSimulator::run_rounds(int k) {
+  if (trace_ == nullptr) {
+    run_rounds_impl<false>(k);
+  } else {
+    run_rounds_impl<true>(k);
+  }
+}
+
+template <bool kTraced>
+void SyncSimulator::run_rounds_impl(int k) {
   started_ = true;
   const int n = process_count();
 
@@ -106,8 +149,24 @@ void SyncSimulator::run_rounds(int k) {
       }
       // A crash that takes effect this round manifests the fault now.
       if (plans_[p].crash_at && r >= *plans_[p].crash_at) {
-        fault_manifested_[p] = true;
+        mark_faulty(p, r, "crash");
       }
+    }
+
+    // Start-of-round §2.4 suspect sets, for processes exposing one.
+    if (any_suspects_ && config_.record_states) {
+      rec.suspects.resize(n);
+      for (ProcessId p = 0; p < n; ++p) {
+        if (!alive[p]) continue;
+        if (const auto* s = processes_[p]->suspect_set()) {
+          rec.suspects[p].assign(s->begin(), s->end());
+        }
+      }
+    }
+
+    if constexpr (kTraced) {
+      trace_->event(
+          TraceEvent{.kind = TraceEventKind::kRoundBegin, .round = r, .data = {}});
     }
 
     causality_.begin_round();
@@ -125,7 +184,8 @@ void SyncSimulator::run_rounds(int k) {
     // Resolve a message at its delivery round: crash / receive-omission /
     // delivery, recording the outcome in the current round's record.
     auto resolve = [&](Message&& m, Round sent_round,
-                       const std::vector<bool>& sender_influence) {
+                       const std::vector<bool>& sender_influence,
+                       std::int64_t flow_id) {
       SendRecord sr;
       sr.sender = m.sender;
       sr.dest = m.dest;
@@ -134,11 +194,23 @@ void SyncSimulator::run_rounds(int k) {
       if (config_.record_states) sr.payload = m.payload;
       if (!alive[m.dest]) {
         sr.dest_crashed = true;
+        if constexpr (kTraced) {
+          trace_message(TraceEventKind::kDrop, r, m.sender, m.dest,
+                        sent_round, "dest-crashed", flow_id);
+        }
       } else if (receive_dropped(m.sender, m.dest, r)) {
         sr.dropped_by_receiver = true;
-        fault_manifested_[m.dest] = true;
+        mark_faulty(m.dest, r, "receive-omission");
+        if constexpr (kTraced) {
+          trace_message(TraceEventKind::kDrop, r, m.sender, m.dest,
+                        sent_round, "receive-omission", flow_id);
+        }
       } else {
         sr.delivered = true;
+        if constexpr (kTraced) {
+          trace_message(TraceEventKind::kDeliver, r, m.sender, m.dest,
+                        sent_round, "", flow_id);
+        }
         causality_.deliver_snapshot(sender_influence, m.dest);
         inbox[m.dest].push_back(std::move(m));
       }
@@ -149,7 +221,7 @@ void SyncSimulator::run_rounds(int k) {
     if (auto it = in_flight_.find(r); it != in_flight_.end()) {
       for (auto& flight : it->second) {
         resolve(std::move(flight.message), flight.sent_round,
-                flight.sender_influence);
+                flight.sender_influence, flight.flow_id);
       }
       in_flight_.erase(it);
     }
@@ -157,6 +229,11 @@ void SyncSimulator::run_rounds(int k) {
     // This round's sends: send-omission faults apply now; remote messages
     // may be delayed, self-deliveries never are.
     for (auto& m : outgoing) {
+      std::int64_t fid = -1;
+      if constexpr (kTraced) {
+        fid = next_flow_id_++;
+        trace_message(TraceEventKind::kSend, r, m.sender, m.dest, 0, "", fid);
+      }
       if (send_dropped(m.sender, m.dest, r)) {
         SendRecord sr;
         sr.sender = m.sender;
@@ -165,7 +242,11 @@ void SyncSimulator::run_rounds(int k) {
         sr.delivery_round = r;
         if (config_.record_states) sr.payload = m.payload;
         sr.dropped_by_sender = true;
-        fault_manifested_[m.sender] = true;
+        mark_faulty(m.sender, r, "send-omission");
+        if constexpr (kTraced) {
+          trace_message(TraceEventKind::kDrop, r, m.sender, m.dest, r,
+                        "send-omission", fid);
+        }
         rec.sends.push_back(std::move(sr));
         continue;
       }
@@ -174,10 +255,10 @@ void SyncSimulator::run_rounds(int k) {
               ? static_cast<int>(rng_.uniform(0, config_.max_extra_delay))
               : 0;
       if (delay == 0) {
-        resolve(std::move(m), r, causality_.send_snapshot(m.sender));
+        resolve(std::move(m), r, causality_.send_snapshot(m.sender), fid);
       } else {
-        in_flight_[r + delay].push_back(
-            InFlight{std::move(m), r, causality_.send_snapshot(m.sender)});
+        in_flight_[r + delay].push_back(InFlight{
+            std::move(m), r, causality_.send_snapshot(m.sender), fid});
       }
     }
 
@@ -191,10 +272,56 @@ void SyncSimulator::run_rounds(int k) {
       processes_[p]->end_round(inbox[p]);
     }
 
+    // Post-transition observations: adopted round variables and Π⁺
+    // suspect-set deltas.
+    if constexpr (kTraced) {
+      for (ProcessId p = 0; p < n; ++p) {
+        if (!alive[p] || processes_[p]->halted()) continue;
+        if (const auto c = processes_[p]->round_counter()) {
+          trace_->event(TraceEvent{.kind = TraceEventKind::kClockAdopt,
+                                   .round = r,
+                                   .process = p,
+                                   .aux = *c,
+                                   .data = {}});
+        }
+        if (const auto* s = processes_[p]->suspect_set();
+            s != nullptr && *s != last_suspects_[p]) {
+          Value::Array added, removed;
+          for (ProcessId q : *s) {
+            if (last_suspects_[p].count(q) == 0) added.push_back(Value(q));
+          }
+          for (ProcessId q : last_suspects_[p]) {
+            if (s->count(q) == 0) removed.push_back(Value(q));
+          }
+          Value delta;
+          delta["added"] = Value(std::move(added));
+          delta["removed"] = Value(std::move(removed));
+          trace_->event(TraceEvent{.kind = TraceEventKind::kSuspectDelta,
+                                   .round = r,
+                                   .process = p,
+                                   .data = std::move(delta)});
+          last_suspects_[p] = *s;
+        }
+      }
+    }
+
     rec.faulty_by_now = fault_manifested_;
     std::vector<bool> correct(n);
     for (int p = 0; p < n; ++p) correct[p] = !fault_manifested_[p];
     rec.coterie = causality_.coterie(correct);
+    if constexpr (kTraced) {
+      if (history_.rounds.empty() ||
+          history_.rounds.back().coterie != rec.coterie) {
+        Value::Array members;
+        for (int p = 0; p < n; ++p) {
+          if (rec.coterie[p]) members.push_back(Value(p));
+        }
+        trace_->event(TraceEvent{.kind = TraceEventKind::kCoterieChange,
+                                 .round = r,
+                                 .data = Value(std::move(members))});
+      }
+      trace_->event(TraceEvent{.kind = TraceEventKind::kRoundEnd, .round = r, .data = {}});
+    }
     history_.rounds.push_back(std::move(rec));
   }
 }

@@ -4,14 +4,17 @@
 // systemic-failure adversary and external observer.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "sim/causality.h"
 #include "sim/fault.h"
 #include "sim/history.h"
 #include "sim/process.h"
+#include "sim/trace.h"
 #include "util/rng.h"
 
 namespace ftss {
@@ -46,6 +49,11 @@ class SyncSimulator {
   // execution commences.  Per §2.1 this does NOT make p faulty.
   void corrupt_state(ProcessId p, const Value& state);
 
+  // Attach a structured event tracer (non-owning; may be null).  With no
+  // sink attached every emission site reduces to one null-check, so the
+  // tracing-off hot loop is unchanged (bench_overhead verifies).
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
   // Execute `k` more rounds (the execution can be extended incrementally;
   // actual round numbers continue from where the previous call stopped).
   void run_rounds(int k);
@@ -72,7 +80,26 @@ class SyncSimulator {
     Message message;
     Round sent_round = 0;
     std::vector<bool> sender_influence;
+    std::int64_t flow_id = -1;  // trace flow linking send to delivery
   };
+
+  void mark_faulty(ProcessId p, Round r, const char* cause);
+
+  // Cold path of the per-message trace emission: constructing a TraceEvent
+  // (which embeds a Value) inline bloats the message-resolution hot loop
+  // enough to measurably slow the tracing-off configuration, so the
+  // construction lives out-of-line and call sites reduce to a predictable
+  // null test + call.
+  void trace_message(TraceEventKind kind, Round r, ProcessId sender,
+                     ProcessId dest, Round sent_round, const char* cause,
+                     std::int64_t flow_id);
+
+  // run_rounds dispatches on whether a sink is attached; the kTraced=false
+  // instantiation contains no emission code at all (if constexpr), so the
+  // tracing-off hot loop is bit-for-bit the untraced simulator's
+  // (bench_overhead's BM_TracedRoundAgreement/0 guards the claim).
+  template <bool kTraced>
+  void run_rounds_impl(int k);
 
   SyncConfig config_;
   Rng rng_;
@@ -84,6 +111,10 @@ class SyncSimulator {
   std::map<Round, std::vector<InFlight>> in_flight_;  // by delivery round
   Round round_ = 0;
   bool started_ = false;
+  bool any_suspects_ = false;  // some process exposes a §2.4 suspect set
+  TraceSink* trace_ = nullptr;
+  std::int64_t next_flow_id_ = 0;
+  std::vector<std::set<ProcessId>> last_suspects_;  // for kSuspectDelta
 };
 
 }  // namespace ftss

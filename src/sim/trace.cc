@@ -1,0 +1,29 @@
+#include "sim/trace.h"
+
+namespace ftss {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRoundBegin:
+      return "round_begin";
+    case TraceEventKind::kRoundEnd:
+      return "round_end";
+    case TraceEventKind::kSend:
+      return "send";
+    case TraceEventKind::kDeliver:
+      return "deliver";
+    case TraceEventKind::kDrop:
+      return "drop";
+    case TraceEventKind::kClockAdopt:
+      return "clock_adopt";
+    case TraceEventKind::kFaultManifest:
+      return "fault_manifest";
+    case TraceEventKind::kCoterieChange:
+      return "coterie_change";
+    case TraceEventKind::kSuspectDelta:
+      return "suspect_delta";
+  }
+  return "?";
+}
+
+}  // namespace ftss

@@ -1,0 +1,334 @@
+// Tests for the observability layer: JSONL/Chrome trace sinks, the metrics
+// registry's deterministic merge, causal export, and the dump extensions.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "check/explorer.h"
+#include "core/compiler.h"
+#include "obs/causal_export.h"
+#include "obs/metrics.h"
+#include "protocols/floodset.h"
+#include "sim/history_dump.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace ftss {
+namespace {
+
+using testing::clock_state;
+using testing::round_agreement_system;
+
+// A small adversarial run: one corrupted clock, one crash, one receive-deaf
+// process — exercises deliver, every drop cause, fault manifestation and a
+// coterie change.
+SyncSimulator traced_sim(int max_extra_delay = 0) {
+  SyncConfig config;
+  config.seed = 3;
+  config.max_extra_delay = max_extra_delay;
+  SyncSimulator sim(config, round_agreement_system(4));
+  sim.corrupt_state(1, clock_state(50));
+  sim.set_fault_plan(2, FaultPlan::crash(3));
+  FaultPlan deaf;
+  deaf.receive_omissions.push_back(OmissionRule{});
+  sim.set_fault_plan(3, deaf);
+  return sim;
+}
+
+std::map<std::string, int> kind_counts(const JsonlTraceSink& sink) {
+  std::map<std::string, int> counts;
+  std::istringstream in(sink.to_string());
+  std::string line;
+  while (std::getline(in, line)) {
+    auto v = Value::parse(line);
+    EXPECT_TRUE(v.has_value()) << line;
+    if (v) ++counts[v->at("ev").string_or("?")];
+  }
+  return counts;
+}
+
+TEST(JsonlTrace, RoundTripsAgainstHistory) {
+  SyncSimulator sim = traced_sim();
+  JsonlTraceSink sink;
+  sim.set_trace_sink(&sink);
+  sim.run_rounds(5);
+  const History& h = sim.history();
+
+  int sent = 0, delivered = 0, dropped = 0, coterie_changes = 0;
+  for (std::size_t i = 0; i < h.rounds.size(); ++i) {
+    const auto& rec = h.rounds[i];
+    for (const auto& s : rec.sends) {
+      ++sent;
+      if (s.delivered) ++delivered;
+      if (s.dropped_by_sender || s.dropped_by_receiver || s.dest_crashed) {
+        ++dropped;
+      }
+    }
+    if (i == 0 || rec.coterie != h.rounds[i - 1].coterie) ++coterie_changes;
+  }
+
+  auto counts = kind_counts(sink);
+  EXPECT_EQ(counts["round_begin"], h.length());
+  EXPECT_EQ(counts["round_end"], h.length());
+  // No jitter: every sent message resolves in its sending round, so the
+  // trace's send/deliver/drop events match the history's send records.
+  EXPECT_EQ(counts["send"], sent);
+  EXPECT_EQ(counts["deliver"], delivered);
+  EXPECT_EQ(counts["drop"], dropped);
+  EXPECT_EQ(delivered + dropped, sent);
+  EXPECT_EQ(counts["coterie_change"], coterie_changes);
+  // Exactly two faults manifest: the crash and the receive-omission.
+  EXPECT_EQ(counts["fault_manifest"], 2);
+  EXPECT_GT(counts["clock_adopt"], 0);
+}
+
+TEST(JsonlTrace, DropCausesAndFlowIdsRecorded) {
+  SyncSimulator sim = traced_sim();
+  JsonlTraceSink sink;
+  sim.set_trace_sink(&sink);
+  sim.run_rounds(4);
+
+  bool saw_dest_crashed = false, saw_receive_omission = false;
+  std::map<std::int64_t, int> flow_uses;
+  for (const Value& v : sink.events()) {
+    const std::string ev = v.at("ev").string_or("?");
+    if (ev == "drop") {
+      const std::string cause = v.at("cause").string_or("?");
+      saw_dest_crashed |= cause == "dest-crashed";
+      saw_receive_omission |= cause == "receive-omission";
+    }
+    if (v.contains("flow")) ++flow_uses[v.at("flow").as_int()];
+  }
+  EXPECT_TRUE(saw_dest_crashed);
+  EXPECT_TRUE(saw_receive_omission);
+  // Every flow id is used exactly twice: the send and its resolution.
+  for (const auto& [id, uses] : flow_uses) {
+    EXPECT_EQ(uses, 2) << "flow " << id;
+  }
+}
+
+TEST(JsonlTrace, RingBufferKeepsNewestEvents) {
+  SyncSimulator sim = traced_sim();
+  JsonlTraceSink sink(/*capacity=*/16);
+  sim.set_trace_sink(&sink);
+  sim.run_rounds(10);
+
+  EXPECT_EQ(sink.events().size(), 16u);
+  EXPECT_GT(sink.dropped_events(), 0u);
+  const Value& last = sink.events().back();
+  EXPECT_EQ(last.at("ev").string_or("?"), "round_end");
+  EXPECT_EQ(last.at("r").int_or(-1), sim.history().length());
+}
+
+TEST(JsonlTrace, JitterDelaysAppearInTraceAndMetrics) {
+  SyncSimulator sim = traced_sim(/*max_extra_delay=*/2);
+  JsonlTraceSink sink;
+  sim.set_trace_sink(&sink);
+  sim.run_rounds(8);
+  const History& h = sim.history();
+
+  int delayed = 0, resolved = 0;
+  for (const auto& rec : h.rounds) {
+    for (const auto& s : rec.sends) {
+      ++resolved;
+      if (s.delivery_round != s.sent_round) ++delayed;
+    }
+  }
+  ASSERT_GT(delayed, 0) << "seed produced no jittered messages";
+
+  // Sends that are still in flight when the run stops have a send event but
+  // no resolution, so send >= deliver + drop.
+  auto counts = kind_counts(sink);
+  EXPECT_GE(counts["send"], resolved);
+  EXPECT_EQ(counts["deliver"] + counts["drop"], resolved);
+
+  MetricsRegistry reg;
+  record_history_metrics(h, reg);
+  EXPECT_EQ(reg.snapshot().counters.at("msgs_delayed"), delayed);
+
+  // The dump's per-send lines expose the delay (satellite of this layer).
+  DumpOptions options;
+  options.show_sends = true;
+  EXPECT_NE(history_to_string(h, options).find(", delay "), std::string::npos);
+}
+
+TEST(Metrics, HistoryCountersMatchHistory) {
+  SyncSimulator sim = traced_sim();
+  sim.run_rounds(5);
+  const History& h = sim.history();
+
+  std::int64_t sent = 0, delivered = 0;
+  for (const auto& rec : h.rounds) {
+    for (const auto& s : rec.sends) {
+      ++sent;
+      if (s.delivered) ++delivered;
+    }
+  }
+  MetricsRegistry reg;
+  record_history_metrics(h, reg);
+  const MetricsSnapshot& snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("rounds"), h.length());
+  EXPECT_EQ(snap.counters.at("msgs_sent"), sent);
+  EXPECT_EQ(snap.counters.at("msgs_delivered"), delivered);
+  EXPECT_GT(snap.counters.at("msgs_dropped_receive_omission"), 0);
+  EXPECT_GT(snap.counters.at("msgs_dropped_dest_crashed"), 0);
+  EXPECT_EQ(snap.gauges.at("faulty_processes"), 2);
+  EXPECT_EQ(snap.histograms.at("coterie_size").count, h.length());
+}
+
+TEST(Metrics, MergeIsAssociativeAndCommutative) {
+  auto make = [](std::int64_t base) {
+    MetricsRegistry r;
+    r.add("trials", base);
+    r.add(base % 2 == 0 ? "even" : "odd");
+    r.gauge_max("peak", base * 3);
+    r.observe("lat", base % 5, stabilization_latency_bounds());
+    r.observe("lat", base % 7, stabilization_latency_bounds());
+    return r.snapshot();
+  };
+  const MetricsSnapshot a = make(2), b = make(3), c = make(10);
+
+  MetricsSnapshot left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  MetricsSnapshot bc = b;     // a + (b + c)
+  bc.merge(c);
+  MetricsSnapshot right = a;
+  right.merge(bc);
+  MetricsSnapshot rev = c;    // (c + b) + a
+  rev.merge(b);
+  rev.merge(a);
+
+  EXPECT_EQ(left.to_value(), right.to_value());
+  EXPECT_EQ(left.to_value(), rev.to_value());
+  EXPECT_EQ(left.fingerprint(), rev.fingerprint());
+  EXPECT_EQ(left.counters.at("trials"), 15);
+  EXPECT_EQ(left.gauges.at("peak"), 30);
+  EXPECT_EQ(left.histograms.at("lat").count, 6);
+}
+
+TEST(Metrics, MismatchedHistogramBoundsDegradeToSummary) {
+  MetricsRegistry a, b;
+  a.observe("h", 1, {1, 2});
+  a.observe("h", 5, {1, 2});
+  b.observe("h", 7, {10});
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const HistogramData& h = merged.histograms.at("h");
+  EXPECT_TRUE(h.bounds.empty());  // layout conflict -> summary only
+  EXPECT_TRUE(h.counts.empty());
+  EXPECT_EQ(h.count, 3);
+  EXPECT_EQ(h.sum, 13);
+  EXPECT_EQ(h.min, 1);
+  EXPECT_EQ(h.max, 7);
+}
+
+TEST(Metrics, ExplorerAggregateIsThreadCountInvariant) {
+  ExplorerConfig config;
+  config.trials = 24;
+  config.seed = 7;
+  config.shrink = false;
+
+  config.jobs = 1;
+  const ExplorerReport serial = explore(config);
+  config.jobs = 3;
+  const ExplorerReport parallel = explore(config);
+
+  EXPECT_EQ(serial.metrics.fingerprint(), parallel.metrics.fingerprint());
+  EXPECT_EQ(serial.metrics.to_value(), parallel.metrics.to_value());
+  EXPECT_EQ(serial.metrics.counters.at("trials"), 24);
+}
+
+TEST(ChromeTrace, ParsesAsJsonWithSpansAndFlows) {
+  SyncSimulator sim = traced_sim();
+  ChromeTraceSink sink;
+  sim.set_trace_sink(&sink);
+  sim.run_rounds(5);
+
+  const auto doc = Value::parse(sink.to_string());
+  ASSERT_TRUE(doc.has_value());
+  const Value& events = doc->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  int spans = 0, flow_starts = 0, flow_ends = 0, counters = 0;
+  for (const Value& e : events.as_array()) {
+    const std::string ph = e.at("ph").string_or("?");
+    if (ph == "X") ++spans;
+    if (ph == "s") ++flow_starts;
+    if (ph == "f") ++flow_ends;
+    if (ph == "C") ++counters;
+  }
+  EXPECT_GT(spans, 0);
+  EXPECT_GT(flow_starts, 0);
+  EXPECT_EQ(flow_starts, flow_ends);  // every arrow has both endpoints
+  EXPECT_GT(counters, 0);             // clock_adopt counter track
+}
+
+TEST(CausalExport, DotContainsProcessRoundNodesAndMessageEdges) {
+  SyncSimulator sim = traced_sim();
+  sim.run_rounds(4);
+  const std::string dot = causal_dot_to_string(sim.history());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("p0_r1"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("cluster"), std::string::npos);
+
+  const std::string flows = chrome_flows_to_string(sim.history());
+  const auto doc = Value::parse(flows);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_GT(doc->at("traceEvents").size(), 0u);
+}
+
+TEST(Dump, ShowSuspectsRendersCompiledSuspectSets) {
+  auto protocol = std::make_shared<FloodSetConsensus>(1);
+  InputSource inputs = [](ProcessId p, std::int64_t) { return Value(p); };
+  SyncSimulator sim(SyncConfig{.seed = 1},
+                    compile_protocol(4, protocol, inputs));
+  FaultPlan mute;
+  mute.send_omissions.push_back(OmissionRule{});
+  sim.set_fault_plan(3, mute);
+  sim.run_rounds(6);
+
+  DumpOptions options;
+  options.show_suspects = true;
+  const std::string text = history_to_string(sim.history(), options);
+  EXPECT_NE(text.find("suspects:"), std::string::npos);
+  // The mute process ends up suspected by some live process.
+  EXPECT_NE(text.find("{3}"), std::string::npos);
+
+  // Suspect sets are an opt-in column.
+  DumpOptions quiet;
+  EXPECT_EQ(history_to_string(sim.history(), quiet).find("suspects:"),
+            std::string::npos);
+}
+
+TEST(Trace, SuspectDeltaEventsTrackCompiledSuspects) {
+  auto protocol = std::make_shared<FloodSetConsensus>(1);
+  InputSource inputs = [](ProcessId p, std::int64_t) { return Value(p); };
+  SyncSimulator sim(SyncConfig{.seed = 1},
+                    compile_protocol(4, protocol, inputs));
+  FaultPlan mute;
+  mute.send_omissions.push_back(OmissionRule{});
+  sim.set_fault_plan(3, mute);
+  JsonlTraceSink sink;
+  sim.set_trace_sink(&sink);
+  sim.run_rounds(6);
+
+  bool saw_delta_adding_3 = false;
+  for (const Value& v : sink.events()) {
+    if (v.at("ev").string_or("?") != "suspect_delta") continue;
+    const Value& added = v.at("data").at("added");
+    for (const Value& q : added.as_array()) {
+      saw_delta_adding_3 |= q.int_or(-1) == 3;
+    }
+  }
+  EXPECT_TRUE(saw_delta_adding_3);
+}
+
+}  // namespace
+}  // namespace ftss
