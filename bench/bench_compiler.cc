@@ -7,6 +7,10 @@
 // synchronous, agreeing, valid).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "bench_util.h"
 #include "core/compiler.h"
 #include "core/predicates.h"
@@ -14,6 +18,35 @@
 #include "protocols/repeated.h"
 #include "sim/corrupt.h"
 #include "sim/simulator.h"
+
+// Heap-allocation counter for the payload-scaling benchmark: Π⁺ payloads are
+// full-information (they grow with n), so the dominant cost of a round is how
+// many times the simulator copies them.  Counting operator new calls makes
+// that copy count a tracked number instead of an inference from ns/round.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// GCC pairs the replaced operators when it inlines them and then flags the
+// malloc/free bodies as "mismatched" — a false positive, since new and
+// delete are replaced together and both sides are malloc/free.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace ftss {
 namespace {
@@ -107,6 +140,37 @@ void BM_CompiledRounds(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 20);
 }
 BENCHMARK(BM_CompiledRounds)->Args({4, 1})->Args({16, 2})->Args({32, 3});
+
+// Payload-scaling hot path: compiled Π⁺ broadcasts its full-information
+// state (O(n) values once flooding completes) to all n processes each round,
+// and with state recording on the observer snapshots every payload and
+// process state too.  Args: {n, record_states}.  `allocs_per_round` counts
+// operator new calls per executed round — the direct measure of how many
+// times Value payloads are (deep-)copied along send/record paths.
+void BM_PayloadScaling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool record = state.range(1) != 0;
+  const int rounds = 20;
+  auto protocol = std::make_shared<FloodSetConsensus>(3);  // final_round = 4
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    SyncSimulator sim(SyncConfig{.seed = 1, .record_states = record},
+                      compile_protocol(n, protocol, int_inputs()));
+    const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    sim.run_rounds(rounds);
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    benchmark::DoNotOptimize(sim.history().length());
+  }
+  state.counters["allocs_per_round"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() * rounds));
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_PayloadScaling)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 1})
+    ->Args({32, 1});
 
 }  // namespace
 }  // namespace ftss

@@ -187,6 +187,11 @@ class JsonEmitter {
             static_cast<std::int64_t>(run.real_accumulated_time / iters * 1e9));
         t["cpu_ns_per_iter"] = Value(
             static_cast<std::int64_t>(run.cpu_accumulated_time / iters * 1e9));
+        // User counters (e.g. allocs_per_round) ride along so baselines
+        // committed as BENCH_*.json keep them comparable across PRs.
+        for (const auto& [counter_name, counter] : run.counters) {
+          t[counter_name] = Value(static_cast<std::int64_t>(counter.value));
+        }
         emitter_->timings_.push_back(std::move(t));
       }
       ConsoleReporter::ReportRuns(runs);

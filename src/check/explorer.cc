@@ -167,11 +167,11 @@ TrialResult run_trial(const TrialPlan& plan, const TrialRunOptions& options) {
           Violation{"compiled-setup", "unknown protocol: " + plan.protocol});
       return result;
     }
-    CompilerOptions options;
-    options.use_round_tags =
+    CompilerOptions compiler_options;
+    compiler_options.use_round_tags =
         plan.weakened != WeakenedKind::kCompilerNoRoundTags;
     procs = compile_protocol(plan.n, spec->make(plan.f_budget),
-                             spec->inputs(plan.n), options);
+                             spec->inputs(plan.n), compiler_options);
   } else {
     const bool weak = plan.weakened == WeakenedKind::kRoundAgreementMaxRule;
     for (ProcessId p = 0; p < plan.n; ++p) {

@@ -129,6 +129,14 @@ void audit_history(const History& h, const TrialPlan& plan,
           add(out, "audit-omission", "unlicensed receive drop: " + os.str());
           return;
         }
+      } else if (sr.lost_in_flight) {
+        // Legal only when the scheduled delivery round lies beyond the run:
+        // otherwise the message should have resolved inside the history.
+        if (sr.delivery_round <= h.length()) {
+          add(out, "audit-omission",
+              "in-flight flush inside the run: " + os.str());
+          return;
+        }
       } else if (sr.delivered) {
         if (sr.sender != sr.dest &&
             idx.must_drop(idx.send_specs[sr.sender], sr.sent_round, sr.dest)) {

@@ -303,9 +303,9 @@ void CtConsensus::restore(const Value& state) {
   };
   auto parse_round = [](const std::string& key) -> std::optional<std::int64_t> {
     char* end = nullptr;
-    const long long r = std::strtoll(key.c_str(), &end, 10);
+    const long long parsed = std::strtoll(key.c_str(), &end, 10);
     if (end == key.c_str() || *end != '\0') return std::nullopt;
-    return clamp_restored_round(r);
+    return clamp_restored_round(parsed);
   };
 
   tasks_.clear();

@@ -150,8 +150,10 @@ void export_chrome_flows(std::ostream& os, const History& h,
         inst["args"]["cause"] =
             Value(s.dropped_by_sender
                       ? "send-omission"
-                      : (s.dropped_by_receiver ? "receive-omission"
-                                               : "dest-crashed"));
+                      : (s.dropped_by_receiver
+                             ? "receive-omission"
+                             : (s.lost_in_flight ? "in-flight-at-end"
+                                                 : "dest-crashed")));
         inst["args"]["sender"] = Value(s.sender);
         inst["args"]["sent_round"] = Value(s.sent_round);
         out.push_back(std::move(inst));

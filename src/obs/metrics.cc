@@ -124,6 +124,8 @@ void record_history_metrics(const History& h, MetricsRegistry& m) {
         m.add("msgs_dropped_receive_omission");
       } else if (s.dest_crashed) {
         m.add("msgs_dropped_dest_crashed");
+      } else if (s.lost_in_flight) {
+        m.add("msgs_in_flight_at_end");
       }
     }
     std::int64_t size = 0;

@@ -28,6 +28,12 @@ struct SendRecord {
   bool dropped_by_sender = false;    // send-omission fault of `sender`
   bool dropped_by_receiver = false;  // receive-omission fault of `dest`
   bool dest_crashed = false;
+  // Jitter-delayed past the final executed round: the message was still in
+  // flight when run_rounds returned, so the observer closes its books with
+  // this record (delivery_round holds the scheduled round).  The message is
+  // NOT consumed — extending the execution with another run_rounds call
+  // retracts these records and resolves the messages normally.
+  bool lost_in_flight = false;
 };
 
 // The observer's record of one actual round r (1-based).

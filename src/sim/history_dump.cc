@@ -70,6 +70,8 @@ void dump_history(std::ostream& os, const History& h, DumpOptions options) {
           os << "DROPPED (receive omission)";
         } else if (s.dest_crashed) {
           os << "LOST (dest crashed)";
+        } else if (s.lost_in_flight) {
+          os << "IN FLIGHT (undelivered at end of run)";
         }
         // Jitter-delayed messages resolve in a later round than they were
         // sent; show the send round and delay so they are distinguishable

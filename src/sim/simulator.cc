@@ -86,8 +86,13 @@ void SyncSimulator::corrupt_state(ProcessId p, const Value& state) {
   processes_.at(p)->restore_state(state);
 }
 
+// Aligned with the round loop's liveness test (`r >= *crash_at`): a process
+// with crash_at = c is alive through round c-1 and crashed from round c on,
+// so after executing rounds 1..round_ it is crashed iff round_ >= c.  The
+// old `round_ + 1 >= c` form reported the crash one round early (while the
+// process was still alive and sending in its final round).
 bool SyncSimulator::crashed(ProcessId p) const {
-  return plans_[p].crash_at && round_ + 1 >= *plans_[p].crash_at;
+  return plans_[p].crash_at && round_ >= *plans_[p].crash_at;
 }
 
 std::vector<bool> SyncSimulator::planned_faulty() const {
@@ -128,6 +133,15 @@ template <bool kTraced>
 void SyncSimulator::run_rounds_impl(int k) {
   started_ = true;
   const int n = process_count();
+
+  // The previous run_rounds call closed its books by recording still-in-
+  // flight messages as lost; this call extends the execution, so those
+  // messages resolve normally below — retract the synthetic records.
+  if (flushed_in_flight_ > 0 && k > 0) {
+    auto& sends = history_.rounds.back().sends;
+    sends.resize(sends.size() - static_cast<std::size_t>(flushed_in_flight_));
+    flushed_in_flight_ = 0;
+  }
 
   for (int step = 0; step < k; ++step) {
     const Round r = ++round_;
@@ -323,6 +337,35 @@ void SyncSimulator::run_rounds_impl(int k) {
       trace_->event(TraceEvent{.kind = TraceEventKind::kRoundEnd, .round = r, .data = {}});
     }
     history_.rounds.push_back(std::move(rec));
+  }
+
+  // Jittered messages still in flight when the run stops used to vanish —
+  // no SendRecord, no trace event — so history/trace send accounting
+  // disagreed with what was actually sent.  Flush them into the final
+  // round's record as lost_in_flight drops (see SendRecord; retracted above
+  // if the execution is extended).  The trace drop is not retractable: an
+  // extended traced run re-resolves the same flow id, which is the tape's
+  // honest record of the observer closing and reopening the run.
+  if (k > 0 && !in_flight_.empty() && !history_.rounds.empty()) {
+    auto& sends = history_.rounds.back().sends;
+    for (const auto& [delivery_round, flights] : in_flight_) {
+      for (const auto& flight : flights) {
+        SendRecord sr;
+        sr.sender = flight.message.sender;
+        sr.dest = flight.message.dest;
+        sr.sent_round = flight.sent_round;
+        sr.delivery_round = delivery_round;
+        if (config_.record_states) sr.payload = flight.message.payload;
+        sr.lost_in_flight = true;
+        if constexpr (kTraced) {
+          trace_message(TraceEventKind::kDrop, round_, flight.message.sender,
+                        flight.message.dest, flight.sent_round,
+                        "in-flight-at-end", flight.flow_id);
+        }
+        sends.push_back(std::move(sr));
+        ++flushed_in_flight_;
+      }
+    }
   }
 }
 

@@ -109,6 +109,10 @@ class SyncSimulator {
   CausalityTracker causality_;
   History history_;
   std::map<Round, std::vector<InFlight>> in_flight_;  // by delivery round
+  // Synthetic lost_in_flight records appended to the final round's sends
+  // when run_rounds returned with messages still in flight; retracted (and
+  // the messages resolved normally) if the execution is extended.
+  int flushed_in_flight_ = 0;
   Round round_ = 0;
   bool started_ = false;
   bool any_suspects_ = false;  // some process exposes a §2.4 suspect set

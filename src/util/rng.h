@@ -5,6 +5,7 @@
 // in tests and benchmarks.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <string>
@@ -34,8 +35,13 @@ class Rng {
   // stream so adding one process does not perturb the others' randomness.
   Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
 
-  // Pick k distinct values out of 0..n-1.
+  // Pick k distinct values out of 0..n-1.  k is clamped to [0, n]: asking
+  // for more distinct values than exist yields all n in random order (the
+  // unclamped loop would call uniform(i, n-1) with lo > hi, which is
+  // undefined behavior for std::uniform_int_distribution).
   std::vector<int> sample(int n, int k) {
+    if (n < 0) n = 0;
+    k = std::min(std::max(k, 0), n);
     std::vector<int> all(n);
     for (int i = 0; i < n; ++i) all[i] = i;
     for (int i = 0; i < k; ++i) {

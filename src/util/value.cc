@@ -34,8 +34,8 @@ bool Value::contains(const std::string& key) const {
 }
 
 Value& Value::operator[](const std::string& key) {
-  if (!is_map()) v_ = Map{};
-  return std::get<Map>(v_)[key];
+  if (!is_map()) v_ = std::make_shared<MapRep>();
+  return own(std::get<MapPtr>(v_)).items[key];
 }
 
 std::size_t Value::size() const {
@@ -43,6 +43,22 @@ std::size_t Value::size() const {
   if (is_map()) return as_map().size();
   if (is_string()) return as_string().size();
   return 0;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.v_.index() != b.v_.index()) return false;
+  // Shared node => deep-equal by construction (COW never mutates in place).
+  if (a.is_array()) {
+    const auto& x = std::get<Value::ArrayPtr>(a.v_);
+    const auto& y = std::get<Value::ArrayPtr>(b.v_);
+    return x == y || x->items == y->items;
+  }
+  if (a.is_map()) {
+    const auto& x = std::get<Value::MapPtr>(a.v_);
+    const auto& y = std::get<Value::MapPtr>(b.v_);
+    return x == y || x->items == y->items;
+  }
+  return a.v_ == b.v_;
 }
 
 std::strong_ordering operator<=>(const Value& a, const Value& b) {
@@ -54,12 +70,18 @@ std::strong_ordering operator<=>(const Value& a, const Value& b) {
   if (a.is_int()) return a.as_int() <=> b.as_int();
   if (a.is_string()) return a.as_string() <=> b.as_string();
   if (a.is_array()) {
+    if (std::get<Value::ArrayPtr>(a.v_) == std::get<Value::ArrayPtr>(b.v_)) {
+      return std::strong_ordering::equal;
+    }
     const auto& x = a.as_array();
     const auto& y = b.as_array();
     for (std::size_t i = 0; i < x.size() && i < y.size(); ++i) {
       if (auto c = x[i] <=> y[i]; c != 0) return c;
     }
     return x.size() <=> y.size();
+  }
+  if (std::get<Value::MapPtr>(a.v_) == std::get<Value::MapPtr>(b.v_)) {
+    return std::strong_ordering::equal;
   }
   const auto& x = a.as_map();
   const auto& y = b.as_map();
@@ -358,8 +380,30 @@ void hash_value(std::uint64_t& h, const Value& v) {
 }
 }  // namespace
 
+namespace {
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+// Lazily computes and caches the node's content hash.  The cache is written
+// value-then-ready (release) and read ready-then-value (acquire) so
+// concurrent readers of a shared node either see the complete pair or
+// recompute the same deterministic hash themselves.
+template <typename RepT>
+std::uint64_t cached_node_hash(const RepT& rep, const Value& v) {
+  if (rep.hash_ready.load(std::memory_order_acquire)) {
+    return rep.cached_hash.load(std::memory_order_relaxed);
+  }
+  std::uint64_t h = kFnvBasis;
+  hash_value(h, v);
+  rep.cached_hash.store(h, std::memory_order_relaxed);
+  rep.hash_ready.store(true, std::memory_order_release);
+  return h;
+}
+}  // namespace
+
 std::uint64_t Value::hash() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+  if (is_array()) return cached_node_hash(*std::get<ArrayPtr>(v_), *this);
+  if (is_map()) return cached_node_hash(*std::get<MapPtr>(v_), *this);
+  std::uint64_t h = kFnvBasis;
   hash_value(h, *this);
   return h;
 }

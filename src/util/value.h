@@ -7,13 +7,16 @@
 // recording / full-information relays need no per-protocol serialization.
 #pragma once
 
+#include <atomic>
 #include <compare>
 #include <cstdint>
 #include <initializer_list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -23,6 +26,17 @@ namespace ftss {
 // Ordered (operator<=>) so values can key std::map and be deterministically
 // sorted; equality is deep.  Doubles are deliberately excluded so equality
 // and ordering stay exact (protocol states must compare reproducibly).
+//
+// Arrays and maps live behind an immutable, refcounted node, so copying a
+// Value is a refcount bump, never a deep copy.  This is the full-information
+// hot path: Π⁺ payloads grow with history, and the simulator copies each one
+// n+ times per round (broadcast fan-out, history recording, snapshots).
+// Mutation goes through the copy-on-write accessors (operator[],
+// mutable_array, mutable_map), which clone the node first iff it is shared.
+// The node also caches the content hash, so repeated hash() calls on a deep
+// shared tree walk it once.  COW caveat (same as any shared-buffer type):
+// references returned by a mutating accessor are invalidated by the next
+// copy-then-mutate of the same Value, so use them immediately.
 class Value {
  public:
   using Array = std::vector<Value>;
@@ -35,8 +49,8 @@ class Value {
   Value(long long i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
   Value(const char* s) : v_(std::string(s)) {}    // NOLINT
   Value(std::string s) : v_(std::move(s)) {}      // NOLINT
-  Value(Array a) : v_(std::move(a)) {}            // NOLINT
-  Value(Map m) : v_(std::move(m)) {}              // NOLINT
+  Value(Array a) : v_(std::make_shared<ArrayRep>(std::move(a))) {}  // NOLINT
+  Value(Map m) : v_(std::make_shared<MapRep>(std::move(m))) {}      // NOLINT
 
   static Value array(std::initializer_list<Value> items) {
     return Value(Array(items));
@@ -49,8 +63,8 @@ class Value {
   bool is_bool() const { return std::holds_alternative<bool>(v_); }
   bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
   bool is_string() const { return std::holds_alternative<std::string>(v_); }
-  bool is_array() const { return std::holds_alternative<Array>(v_); }
-  bool is_map() const { return std::holds_alternative<Map>(v_); }
+  bool is_array() const { return std::holds_alternative<ArrayPtr>(v_); }
+  bool is_map() const { return std::holds_alternative<MapPtr>(v_); }
 
   // Checked accessors: throw std::bad_variant_access on type mismatch.
   // Protocol code deliberately uses the *_or forms when reading state that a
@@ -58,10 +72,11 @@ class Value {
   bool as_bool() const { return std::get<bool>(v_); }
   std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
   const std::string& as_string() const { return std::get<std::string>(v_); }
-  const Array& as_array() const { return std::get<Array>(v_); }
-  const Map& as_map() const { return std::get<Map>(v_); }
-  Array& mutable_array() { return std::get<Array>(v_); }
-  Map& mutable_map() { return std::get<Map>(v_); }
+  const Array& as_array() const { return std::get<ArrayPtr>(v_)->items; }
+  const Map& as_map() const { return std::get<MapPtr>(v_)->items; }
+  // Copy-on-write: clones the underlying node iff other Values share it.
+  Array& mutable_array() { return own(std::get<ArrayPtr>(v_)).items; }
+  Map& mutable_map() { return own(std::get<MapPtr>(v_)).items; }
 
   // Tolerant accessors for possibly-corrupted values.
   bool bool_or(bool fallback) const {
@@ -84,7 +99,7 @@ class Value {
   // Array convenience.
   std::size_t size() const;
 
-  friend bool operator==(const Value&, const Value&) = default;
+  friend bool operator==(const Value& a, const Value& b);
   friend std::strong_ordering operator<=>(const Value& a, const Value& b);
 
   // Compact single-line JSON rendering (strings escaped), for logs, test
@@ -96,11 +111,48 @@ class Value {
   // input — useful for loading saved corrupted-state reproductions.
   static std::optional<Value> parse(std::string_view text);
 
-  // Stable content hash (FNV-1a over a canonical encoding).
+  // Stable content hash (FNV-1a over a canonical encoding).  Cached per
+  // array/map node; mutation through the COW accessors invalidates it.
   std::uint64_t hash() const;
 
  private:
-  std::variant<std::monostate, bool, std::int64_t, std::string, Array, Map> v_;
+  // Refcounted container node.  `items` is logically immutable while the
+  // node is shared; the COW accessors below enforce that by cloning first.
+  // The hash cache uses a ready flag (acquire/release paired with the value
+  // store) rather than a sentinel so every 64-bit hash value stays exact —
+  // Value::hash() results are observable (corrupted-state clamping keys off
+  // them) and must not change.
+  template <typename T>
+  struct Rep {
+    T items;
+    mutable std::atomic<std::uint64_t> cached_hash{0};
+    mutable std::atomic<bool> hash_ready{false};
+
+    Rep() = default;
+    explicit Rep(T i) : items(std::move(i)) {}
+    Rep(const Rep& other) : items(other.items) {}  // fresh (empty) hash cache
+    Rep& operator=(const Rep&) = delete;
+  };
+  using ArrayRep = Rep<Array>;
+  using MapRep = Rep<Map>;
+  using ArrayPtr = std::shared_ptr<ArrayRep>;
+  using MapPtr = std::shared_ptr<MapRep>;
+
+  // Make `ptr`'s node exclusively ours and drop its cached hash (we are
+  // about to hand out a mutable reference into it).
+  template <typename RepT>
+  static RepT& own(std::shared_ptr<RepT>& ptr) {
+    if (ptr.use_count() > 1) {
+      ptr = std::make_shared<RepT>(*ptr);
+    } else {
+      ptr->hash_ready.store(false, std::memory_order_relaxed);
+    }
+    return *ptr;
+  }
+
+  std::variant<std::monostate, bool, std::int64_t, std::string, ArrayPtr,
+               MapPtr>
+      v_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Value& v);

@@ -183,5 +183,23 @@ TEST(EventSimulator, RunUntilAdvancesClockEvenWithoutEvents) {
   EXPECT_EQ(sim.now(), 123);
 }
 
+TEST(EventSimulator, CrashedFlipsExactlyAtTheScheduledTime) {
+  // Mirror of SyncSimulator::CrashedAccessorAgreesWithTheRoundLoop: the
+  // accessor's boundary (now >= crash_at) must match the event loop's drop
+  // condition — alive strictly before the crash time, crashed from it on.
+  EventSimulator sim(AsyncConfig{.seed = 1, .tick_interval = 10}, probes(2));
+  sim.schedule_crash(1, 50);
+  sim.run_until(49);
+  EXPECT_FALSE(sim.crashed(1));
+  const std::int64_t ticks_before = probe(sim, 1).ticks_;
+  sim.run_until(50);
+  EXPECT_TRUE(sim.crashed(1));
+  sim.run_until(500);
+  EXPECT_TRUE(sim.crashed(1));
+  EXPECT_FALSE(sim.crashed(0));
+  // No further steps once the crash time is reached.
+  EXPECT_EQ(probe(sim, 1).ticks_, ticks_before);
+}
+
 }  // namespace
 }  // namespace ftss

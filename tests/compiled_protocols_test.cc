@@ -160,10 +160,10 @@ INSTANTIATE_TEST_SUITE_P(
                       CompiledParam{5, 2, 3}, CompiledParam{6, 2, 4},
                       CompiledParam{8, 3, 5}, CompiledParam{10, 3, 6},
                       CompiledParam{4, 2, 7}, CompiledParam{7, 2, 8}),
-    [](const ::testing::TestParamInfo<CompiledParam>& info) {
-      return "n" + std::to_string(info.param.n) + "_f" +
-             std::to_string(info.param.f) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<CompiledParam>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_f" +
+             std::to_string(param_info.param.f) + "_seed" +
+             std::to_string(param_info.param.seed);
     });
 
 }  // namespace

@@ -249,14 +249,14 @@ INSTANTIATE_TEST_SUITE_P(
         ConsensusParam{6, 2, CorruptionPattern::kDetector, 34},
         ConsensusParam{5, 0, CorruptionPattern::kPhaseFlags, 35},
         ConsensusParam{3, 0, CorruptionPattern::kDetector, 36}),
-    [](const ::testing::TestParamInfo<ConsensusParam>& info) {
-      std::string pattern = corruption_pattern_name(info.param.pattern);
+    [](const ::testing::TestParamInfo<ConsensusParam>& param_info) {
+      std::string pattern = corruption_pattern_name(param_info.param.pattern);
       for (auto& c : pattern) {
         if (c == '-') c = '_';
       }
-      return "n" + std::to_string(info.param.n) + "_c" +
-             std::to_string(info.param.crashes) + "_" + pattern + "_seed" +
-             std::to_string(info.param.seed);
+      return "n" + std::to_string(param_info.param.n) + "_c" +
+             std::to_string(param_info.param.crashes) + "_" + pattern + "_seed" +
+             std::to_string(param_info.param.seed);
     });
 
 TEST(FtssConsensus, DecisionTimeRecorded) {

@@ -63,8 +63,8 @@ TEST_P(Theorem1Reveal, RevealForcesRateViolationAtUnboundedTime) {
 INSTANTIATE_TEST_SUITE_P(RevealRounds, Theorem1Reveal,
                          ::testing::Values<Round>(2, 3, 5, 8, 16, 32, 64, 128,
                                                   256),
-                         [](const ::testing::TestParamInfo<Round>& info) {
-                           return "reveal" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<Round>& param_info) {
+                           return "reveal" + std::to_string(param_info.param);
                          });
 
 TEST(Theorem1, ScenarioSymmetryBothAttributions) {
@@ -169,11 +169,11 @@ TEST_P(Theorem2Magnitude, AnyDisagreementMagnitudeIsFatal) {
 INSTANTIATE_TEST_SUITE_P(Magnitudes, Theorem2Magnitude,
                          ::testing::Values<Round>(2, 10, 1000, 1'000'000,
                                                   -50),
-                         [](const ::testing::TestParamInfo<Round>& info) {
+                         [](const ::testing::TestParamInfo<Round>& param_info) {
                            return "c0_" +
-                                  (info.param < 0
-                                       ? "neg" + std::to_string(-info.param)
-                                       : std::to_string(info.param));
+                                  (param_info.param < 0
+                                       ? "neg" + std::to_string(-param_info.param)
+                                       : std::to_string(param_info.param));
                          });
 
 }  // namespace

@@ -132,24 +132,30 @@ TEST(JsonlTrace, JitterDelaysAppearInTraceAndMetrics) {
   sim.run_rounds(8);
   const History& h = sim.history();
 
-  int delayed = 0, resolved = 0;
+  int delayed = 0, total = 0, in_flight = 0;
   for (const auto& rec : h.rounds) {
     for (const auto& s : rec.sends) {
-      ++resolved;
+      ++total;
       if (s.delivery_round != s.sent_round) ++delayed;
+      if (s.lost_in_flight) ++in_flight;
     }
   }
   ASSERT_GT(delayed, 0) << "seed produced no jittered messages";
 
-  // Sends that are still in flight when the run stops have a send event but
-  // no resolution, so send >= deliver + drop.
+  // Trace/history consistency: every send in the history has exactly one
+  // trace resolution — delivered, dropped, or flushed as in-flight at the
+  // end of the run (traced as a drop with cause "in-flight-at-end").
   auto counts = kind_counts(sink);
-  EXPECT_GE(counts["send"], resolved);
-  EXPECT_EQ(counts["deliver"] + counts["drop"], resolved);
+  EXPECT_EQ(counts["send"], total);
+  EXPECT_EQ(counts["deliver"] + counts["drop"], total);
 
   MetricsRegistry reg;
   record_history_metrics(h, reg);
-  EXPECT_EQ(reg.snapshot().counters.at("msgs_delayed"), delayed);
+  const auto& counters = reg.snapshot().counters;
+  EXPECT_EQ(counters.at("msgs_delayed"), delayed);
+  const auto in_flight_it = counters.find("msgs_in_flight_at_end");
+  EXPECT_EQ(in_flight_it != counters.end() ? in_flight_it->second : 0,
+            in_flight);
 
   // The dump's per-send lines expose the delay (satellite of this layer).
   DumpOptions options;

@@ -193,11 +193,11 @@ INSTANTIATE_TEST_SUITE_P(
                       RepeatedParam{7, 3, false, 17},
                       RepeatedParam{7, 0, true, 18},
                       RepeatedParam{9, 2, true, 19}),
-    [](const ::testing::TestParamInfo<RepeatedParam>& info) {
-      return "n" + std::to_string(info.param.n) + "_c" +
-             std::to_string(info.param.crashes) +
-             (info.param.corrupt ? "_corrupt" : "_clean") + "_seed" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<RepeatedParam>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_c" +
+             std::to_string(param_info.param.crashes) +
+             (param_info.param.corrupt ? "_corrupt" : "_clean") + "_seed" +
+             std::to_string(param_info.param.seed);
     });
 
 }  // namespace

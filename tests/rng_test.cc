@@ -77,6 +77,24 @@ TEST(Rng, SampleFullPopulationIsPermutation) {
   EXPECT_EQ(distinct.size(), 6u);
 }
 
+TEST(Rng, SampleClampsOversizedRequests) {
+  // Regression: sample(n, k) with k > n used to walk past the end of the
+  // candidate pool (UB caught by ASan).  It now clamps to the population.
+  Rng rng(9);
+  auto s = rng.sample(3, 5);
+  ASSERT_EQ(s.size(), 3u);
+  std::set<int> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct, (std::set<int>{0, 1, 2}));
+}
+
+TEST(Rng, SampleDegenerateSizesAreEmpty) {
+  Rng rng(10);
+  EXPECT_TRUE(rng.sample(0, 2).empty());
+  EXPECT_TRUE(rng.sample(5, 0).empty());
+  EXPECT_TRUE(rng.sample(5, -1).empty());
+  EXPECT_TRUE(rng.sample(-2, 3).empty());
+}
+
 TEST(Rng, ForkProducesIndependentStream) {
   Rng parent(8);
   Rng child = parent.fork();

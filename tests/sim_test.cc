@@ -259,5 +259,78 @@ TEST(SyncSimulator, RecordStatesOffLeavesClocksAvailable) {
   EXPECT_EQ(sim.history().at(2).clock[0], std::optional<Round>(2));
 }
 
+TEST(SyncSimulator, CrashedAccessorAgreesWithTheRoundLoop) {
+  // Regression: crashed() reported `round_ + 1 >= crash_at` — one round
+  // earlier than the loop that actually stops the process (`r >= crash_at`).
+  // With crash_at = 3 the process steps in rounds 1-2 and never again, so
+  // after two executed rounds it must still count as alive.
+  SyncSimulator sim(SyncConfig{}, probes(2));
+  sim.set_fault_plan(1, FaultPlan::crash(3));
+  sim.run_rounds(2);
+  EXPECT_FALSE(sim.crashed(1));
+  EXPECT_TRUE(sim.history().at(2).alive[1]);
+  EXPECT_EQ(probe(sim, 1).rounds_started_, 2);
+  sim.run_rounds(1);
+  EXPECT_TRUE(sim.crashed(1));
+  EXPECT_FALSE(sim.history().at(3).alive[1]);
+  EXPECT_EQ(probe(sim, 1).rounds_started_, 2);  // no step in round 3
+  EXPECT_FALSE(sim.crashed(0));
+}
+
+TEST(SyncSimulator, InFlightMessagesAreFlushedIntoTheFinalRecord) {
+  SyncSimulator sim(SyncConfig{.seed = 11, .max_extra_delay = 4},
+                    round_agreement_system(3));
+  sim.run_rounds(8);
+  const auto& h = sim.history();
+  std::int64_t resolved = 0, in_flight = 0;
+  for (const auto& rec : h.rounds) {
+    for (const auto& s : rec.sends) {
+      if (s.lost_in_flight) {
+        EXPECT_EQ(rec.round, 8);  // flush lands only in the final record
+        EXPECT_FALSE(s.delivered);
+        EXPECT_GT(s.delivery_round, 8);  // scheduled past the end of the run
+        EXPECT_LE(s.delivery_round, s.sent_round + 4);
+        ++in_flight;
+      } else {
+        ++resolved;
+      }
+    }
+  }
+  // Every send resolves exactly once: 3 broadcasts x 3 dests x 8 rounds.
+  EXPECT_EQ(resolved + in_flight, 8 * 9);
+  EXPECT_GT(in_flight, 0);  // seed 11 leaves messages in flight at round 8
+}
+
+TEST(SyncSimulator, InFlightFlushIsRetractedWhenTheRunIsExtended) {
+  // The flush must not consume the delayed messages: running 6+6 rounds has
+  // to produce the exact history of running 12 straight, including the
+  // final record's residue.
+  SyncSimulator split(SyncConfig{.seed = 11, .max_extra_delay = 4},
+                      round_agreement_system(3));
+  split.run_rounds(6);
+  split.run_rounds(6);
+  SyncSimulator straight(SyncConfig{.seed = 11, .max_extra_delay = 4},
+                         round_agreement_system(3));
+  straight.run_rounds(12);
+  const auto& a = split.history();
+  const auto& b = straight.history();
+  ASSERT_EQ(a.length(), b.length());
+  for (Round r = 1; r <= a.length(); ++r) {
+    ASSERT_EQ(a.at(r).sends.size(), b.at(r).sends.size()) << "round " << r;
+    for (std::size_t i = 0; i < a.at(r).sends.size(); ++i) {
+      const auto& x = a.at(r).sends[i];
+      const auto& y = b.at(r).sends[i];
+      EXPECT_EQ(x.sender, y.sender);
+      EXPECT_EQ(x.dest, y.dest);
+      EXPECT_EQ(x.payload, y.payload);
+      EXPECT_EQ(x.delivered, y.delivered);
+      EXPECT_EQ(x.sent_round, y.sent_round);
+      EXPECT_EQ(x.delivery_round, y.delivery_round);
+      EXPECT_EQ(x.lost_in_flight, y.lost_in_flight);
+    }
+    EXPECT_EQ(a.at(r).clock, b.at(r).clock) << "round " << r;
+  }
+}
+
 }  // namespace
 }  // namespace ftss

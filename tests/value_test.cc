@@ -151,5 +151,69 @@ TEST(Value, CheckedAccessorThrowsOnMismatch) {
   EXPECT_THROW(Value(1).as_string(), std::bad_variant_access);
 }
 
+// Copies of array/map values share one immutable rep; mutation detaches the
+// writer (copy-on-write).  These tests pin value semantics across sharing.
+
+TEST(Value, CopyThenMutateLeavesTheOriginalUntouched) {
+  Value a = Value::array({Value(1), Value(2)});
+  Value b = a;
+  b.mutable_array().push_back(Value(3));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_NE(a, b);
+
+  Value m = Value::map({{"k", Value(1)}});
+  Value m2 = m;
+  m2["k"] = Value(99);
+  EXPECT_EQ(m.at("k").as_int(), 1);
+  EXPECT_EQ(m2.at("k").as_int(), 99);
+}
+
+TEST(Value, SharedCopiesCompareEqualAndFast) {
+  Value a = Value::map({{"xs", Value::array({Value(1), Value(2)})}});
+  Value b = a;  // shares the rep: equality short-circuits on pointer identity
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a <=> b, std::strong_ordering::equal);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Value, HashCacheInvalidatedByMutation) {
+  Value a = Value::array({Value(1), Value(2)});
+  const auto h1 = a.hash();  // warms the cache
+  a.mutable_array()[0] = Value(7);
+  const auto h2 = a.hash();
+  EXPECT_NE(h1, h2);
+  // The mutated value hashes identically to a fresh equal value.
+  EXPECT_EQ(h2, Value::array({Value(7), Value(2)}).hash());
+}
+
+TEST(Value, HashCacheSurvivesSharingAndDetach) {
+  Value a = Value::map({{"a", Value(1)}});
+  Value b = a;
+  (void)a.hash();   // cache on the shared rep
+  b["a"] = Value(2);  // detaches b; a keeps the cached rep
+  EXPECT_EQ(a.hash(), Value::map({{"a", Value(1)}}).hash());
+  EXPECT_EQ(b.hash(), Value::map({{"a", Value(2)}}).hash());
+}
+
+TEST(Value, SelfAssignmentThroughSharedRepsIsSafe) {
+  Value m;
+  m["a"] = Value::array({Value(1), Value(2)});
+  m["b"] = m.at("a");       // share the inner array
+  m["a"] = m.at("b");       // and alias it back onto itself
+  m["b"].mutable_array()[0] = Value(9);
+  EXPECT_EQ(m.at("a"), Value::array({Value(1), Value(2)}));
+  EXPECT_EQ(m.at("b"), Value::array({Value(9), Value(2)}));
+}
+
+TEST(Value, RoundTripUnchangedUnderSharing) {
+  Value a = Value::map(
+      {{"k", Value::array({Value(1), Value("x"), Value(true)})}});
+  Value b = a;
+  b["extra"] = Value(2);
+  EXPECT_EQ(Value::parse(a.to_string()), a);
+  EXPECT_EQ(Value::parse(b.to_string()), b);
+}
+
 }  // namespace
 }  // namespace ftss
