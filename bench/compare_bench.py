@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare a fresh ftss bench --json run against committed BENCH_*.json baselines.
+
+Usage:
+  compare_bench.py [--tolerance 0.30] BASELINE.json FRESH.json
+  compare_bench.py [--tolerance 0.30] --baseline-dir . --fresh-dir bench-fresh
+
+Directory mode pairs files by name: every BENCH_*.json in --baseline-dir is
+compared against the file of the same name in --fresh-dir (missing fresh
+files are reported and skipped — CI smoke runs only a benchmark subset).
+
+For every benchmark present in both files, relative deltas are reported for
+cpu_ns_per_iter and any extra counters (e.g. allocs_per_round).  A benchmark
+regresses when fresh > baseline * (1 + tolerance) on cpu_ns_per_iter or on
+an alloc counter; timing improvements and new/removed benchmarks never fail.
+Exit status is 1 if any regression was found, else 0.  CI wires this in as a
+non-blocking report: shared runners are noisy, so a red compare is a prompt
+to look at the numbers, not a merge gate.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Counters that measure work done (not wall time) and should be compared
+# tightly: they are deterministic per build, so even a small growth is real.
+COUNTER_TOLERANCE = 0.05
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "ftss-bench-v1":
+        raise SystemExit(f"{path}: unsupported schema {data.get('schema')!r}")
+    return {t["name"]: t for t in data.get("timings", [])}
+
+
+def compare_metric(name, metric, base, fresh, tolerance, rows):
+    if base is None or fresh is None or base <= 0:
+        return False
+    delta = (fresh - base) / base
+    regressed = delta > tolerance
+    rows.append((name, metric, base, fresh, delta, regressed))
+    return regressed
+
+
+def compare_files(baseline_path, fresh_path, tolerance):
+    baseline = load(baseline_path)
+    fresh = load(fresh_path)
+    rows = []
+    regressed = False
+    for name, b in sorted(baseline.items()):
+        f = fresh.get(name)
+        if f is None:
+            continue  # smoke runs exercise a filtered subset
+        regressed |= compare_metric(name, "cpu_ns_per_iter",
+                                    b.get("cpu_ns_per_iter"),
+                                    f.get("cpu_ns_per_iter"), tolerance, rows)
+        skip = {"cpu_ns_per_iter", "real_ns_per_iter", "iterations",
+                "items_per_second", "name"}
+        for counter in sorted(set(b) & set(f) - skip):
+            if isinstance(b[counter], (int, float)):
+                regressed |= compare_metric(name, counter, b[counter],
+                                            f[counter], COUNTER_TOLERANCE,
+                                            rows)
+    only_fresh = sorted(set(fresh) - set(baseline))
+
+    print(f"\n== {os.path.basename(baseline_path)} "
+          f"(tolerance {tolerance:.0%} time, {COUNTER_TOLERANCE:.0%} counters)")
+    if not rows:
+        print("  no overlapping benchmarks")
+    width = max((len(r[0]) for r in rows), default=0)
+    for name, metric, base, fr, delta, bad in rows:
+        flag = "REGRESSED" if bad else ("improved" if delta < -0.05 else "ok")
+        print(f"  {name:<{width}}  {metric:<18} {base:>14.6g} -> {fr:>14.6g} "
+              f"({delta:+7.1%})  {flag}")
+    for name in only_fresh:
+        print(f"  {name}: new benchmark (no baseline)")
+    return regressed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="*", help="BASELINE.json FRESH.json")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed relative cpu-time growth (default 0.30)")
+    ap.add_argument("--baseline-dir", help="directory of committed BENCH_*.json")
+    ap.add_argument("--fresh-dir", help="directory of freshly generated BENCH_*.json")
+    args = ap.parse_args()
+
+    pairs = []
+    if args.baseline_dir or args.fresh_dir:
+        if not (args.baseline_dir and args.fresh_dir):
+            ap.error("--baseline-dir and --fresh-dir go together")
+        for base in sorted(glob.glob(os.path.join(args.baseline_dir,
+                                                  "BENCH_*.json"))):
+            fresh = os.path.join(args.fresh_dir, os.path.basename(base))
+            if os.path.exists(fresh):
+                pairs.append((base, fresh))
+            else:
+                print(f"note: no fresh run for {os.path.basename(base)}")
+    elif len(args.files) == 2:
+        pairs.append((args.files[0], args.files[1]))
+    else:
+        ap.error("pass BASELINE.json FRESH.json, or --baseline-dir/--fresh-dir")
+
+    regressed = False
+    for base, fresh in pairs:
+        regressed |= compare_files(base, fresh, args.tolerance)
+    if regressed:
+        print("\nperformance regression beyond tolerance (see REGRESSED rows)")
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -242,15 +242,15 @@ ExplorerReport explore(const ExplorerConfig& config) {
   ExplorerReport report;
   report.trials = config.trials;
 
-  const std::function<TrialResult(std::size_t)> body =
+  const std::vector<TrialResult> results = parallel_sweep<TrialResult>(
+      static_cast<std::size_t>(std::max(0, config.trials)),
       [&config](std::size_t i) {
         const std::uint64_t seed =
             trial_seed_for(config.seed, static_cast<int>(i));
         return run_trial(
             sample_trial(config.adversary, config.weakened, seed));
-      };
-  const std::vector<TrialResult> results = parallel_sweep<TrialResult>(
-      static_cast<std::size_t>(std::max(0, config.trials)), body, config.jobs);
+      },
+      config.jobs);
 
   std::uint64_t fp = 0xcbf29ce484222325ULL;
   std::vector<std::pair<double, NearMiss>> misses;

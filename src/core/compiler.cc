@@ -15,7 +15,9 @@ CompiledProcess::CompiledProcess(
       protocol_(std::move(protocol)),
       inputs_(std::move(inputs)),
       options_(options),
-      c_(0) {
+      c_(0),
+      suspect_(n),
+      matching_(n) {
   // Protocol-specified initial state: counter 0 (normalize(0) == 1, i.e. the
   // first round of iteration 0), fresh Π state, empty suspect set.
   reset_iteration(c_);
@@ -44,34 +46,33 @@ void CompiledProcess::end_round(const std::vector<Message>& delivered) {
   const int final_round = protocol_->final_round();
 
   // Which senders produced a message tagged with our current round?
-  std::vector<bool> matching(n_, false);
+  matching_.clear();
   for (const auto& m : delivered) {
     const Value& tag = m.payload.at("ROUND");
     const bool tag_matches = tag.is_int() && tag.as_int() == c_;
-    if (!options_.use_round_tags || tag_matches) matching[m.sender] = true;
+    if (!options_.use_round_tags || tag_matches) matching_.insert(m.sender);
   }
 
-  // S := suspect ∪ { q | no message from q with round(m) = c_p this round }.
-  std::set<ProcessId> s_new = suspect_;
-  for (ProcessId q = 0; q < n_; ++q) {
-    if (!matching[q]) s_new.insert(q);
-  }
+  // S := suspect ∪ { q | no message from q with round(m) = c_p this round },
+  // i.e. suspect ∪ ¬matching — three word ops on the packed sets.
+  ProcessSet s_new = matching_;
+  s_new.flip_all();
+  s_new |= suspect_;
 
   // M := messages from non-suspects, unwrapped to Π's view (peer STATE).
-  std::vector<Message> pi_view;
-  pi_view.reserve(delivered.size());
+  pi_view_.clear();
   for (const auto& m : delivered) {
-    if (options_.use_suspect_filter && s_new.count(m.sender) > 0) continue;
+    if (options_.use_suspect_filter && s_new.contains(m.sender)) continue;
     if (!options_.use_suspect_filter && options_.use_round_tags &&
-        !matching[m.sender]) {
+        !matching_.contains(m.sender)) {
       continue;  // even without suspects, Π only consumes same-round traffic
     }
-    pi_view.push_back(Message{m.sender, m.dest, m.payload.at("STATE")});
+    pi_view_.push_back(Message{m.sender, m.dest, m.payload.at("STATE")});
   }
 
   // Π executes its round k = normalize(c_p).
   const int k = static_cast<int>(normalize_round(c_, final_round));
-  s_ = protocol_->transition(self_, n_, s_, pi_view, k);
+  s_ = protocol_->transition(self_, n_, s_, pi_view_, k);
   if (k == final_round) {
     decisions_.push_back(DecisionRecord{.process = self_,
                                         .iteration = iteration_of(c_),
@@ -104,7 +105,7 @@ Value CompiledProcess::snapshot_state() const {
   v["s"] = s_;
   v["c"] = Value(c_);
   Value::Array suspects;
-  suspects.reserve(suspect_.size());
+  suspects.reserve(static_cast<std::size_t>(suspect_.count()));
   for (ProcessId q : suspect_) suspects.push_back(Value(static_cast<std::int64_t>(q)));
   v["suspect"] = Value(std::move(suspects));
   v["input"] = current_input_;

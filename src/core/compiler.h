@@ -22,10 +22,10 @@
 #pragma once
 
 #include <memory>
-#include <set>
 
 #include "core/terminating.h"
 #include "sim/process.h"
+#include "util/process_set.h"
 
 namespace ftss {
 
@@ -53,8 +53,8 @@ class CompiledProcess : public SyncProcess {
   // Completed-iteration decisions, in the order they occurred.
   const std::vector<DecisionRecord>& decisions() const { return decisions_; }
 
-  const std::set<ProcessId>& suspects() const { return suspect_; }
-  const std::set<ProcessId>* suspect_set() const override { return &suspect_; }
+  const ProcessSet& suspects() const { return suspect_; }
+  const ProcessSet* suspect_set() const override { return &suspect_; }
 
  private:
   std::int64_t iteration_of(Round c) const;
@@ -68,8 +68,12 @@ class CompiledProcess : public SyncProcess {
 
   Value s_;
   Round c_;
-  std::set<ProcessId> suspect_;
+  ProcessSet suspect_;
   Value current_input_;
+  // Per-round scratch, cleared-not-reallocated (the §2.4 filter runs every
+  // round of every process; see end_round).
+  ProcessSet matching_;
+  std::vector<Message> pi_view_;
 
   std::vector<DecisionRecord> decisions_;
   Round actual_round_ = 0;  // local count of rounds executed (observer aid)

@@ -1,5 +1,7 @@
 #include "protocols/leader_election.h"
 
+#include <set>
+
 namespace ftss {
 
 Value LeaderElection::initial_state(ProcessId p, int, const Value&) const {

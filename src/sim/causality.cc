@@ -4,33 +4,25 @@ namespace ftss {
 
 CausalityTracker::CausalityTracker(int n)
     : n_(n),
-      influence_(n, std::vector<bool>(n, false)),
-      influence_at_send_(n, std::vector<bool>(n, false)) {
-  for (int p = 0; p < n_; ++p) influence_[p][p] = true;
+      influence_(n, ProcessSet(n)),
+      influence_at_send_(n, ProcessSet(n)) {
+  for (int p = 0; p < n_; ++p) influence_[p].insert(p);
 }
 
-void CausalityTracker::begin_round() { influence_at_send_ = influence_; }
+void CausalityTracker::begin_round() {
+  // Element-wise copy into the existing sets: word stores, no allocation.
+  for (int p = 0; p < n_; ++p) influence_at_send_[p] = influence_[p];
+}
 
 void CausalityTracker::deliver(ProcessId sender, ProcessId dest) {
   deliver_snapshot(influence_at_send_[sender], dest);
 }
 
-void CausalityTracker::deliver_snapshot(
-    const std::vector<bool>& sender_influence, ProcessId dest) {
-  auto& to = influence_[dest];
-  for (int p = 0; p < n_; ++p) {
-    if (sender_influence[p]) to[p] = true;
-  }
-}
-
-std::vector<bool> CausalityTracker::coterie(
-    const std::vector<bool>& correct) const {
-  std::vector<bool> result(n_, true);
+ProcessSet CausalityTracker::coterie(const ProcessSet& correct) const {
+  ProcessSet result(n_);
+  result.insert_all();
   for (int q = 0; q < n_; ++q) {
-    if (!correct[q]) continue;
-    for (int p = 0; p < n_; ++p) {
-      if (!influence_[q][p]) result[p] = false;
-    }
+    if (correct.contains(q)) result &= influence_[q];
   }
   return result;
 }

@@ -9,11 +9,17 @@
 // precedes its later events).
 //
 // The coterie of a prefix is then { p : for all correct q, p in influence[q] }.
+//
+// Sets are word-packed ProcessSets: the per-delivery union that runs n^2
+// times per round is O(n/64) word ORs, and the send-time snapshot handed to
+// the simulator is a reference into this tracker, not a copy — the simulator
+// only materializes a copy for messages whose delivery is jitter-delayed.
 #pragma once
 
 #include <vector>
 
 #include "sim/types.h"
+#include "util/process_set.h"
 
 namespace ftss {
 
@@ -32,32 +38,34 @@ class CausalityTracker {
   // closure).
   void deliver(ProcessId sender, ProcessId dest);
 
-  // The sender-side influence snapshot for messages sent this round; kept by
-  // the simulator for messages whose delivery is delayed past the round.
-  std::vector<bool> send_snapshot(ProcessId sender) const {
+  // The sender-side influence snapshot for messages sent this round.  The
+  // reference is valid until the next begin_round; the simulator copies it
+  // only into jitter-delayed InFlight entries.
+  const ProcessSet& send_snapshot(ProcessId sender) const {
     return influence_at_send_[sender];
   }
 
   // Delivery of a message whose send-time snapshot was captured earlier.
-  void deliver_snapshot(const std::vector<bool>& sender_influence,
-                        ProcessId dest);
+  void deliver_snapshot(const ProcessSet& sender_influence, ProcessId dest) {
+    influence_[dest] |= sender_influence;
+  }
 
   // Does p ->_H q hold (reflexively true for p == q)?
   bool influences(ProcessId p, ProcessId q) const {
-    return influence_[q][p];
+    return influence_[q].contains(p);
   }
 
   // Coterie of the current prefix, given the prefix's correct set
-  // (correct[q] == true iff q has not manifested a fault).  Crashed/faulty
+  // (q in correct iff q has not manifested a fault).  Crashed/faulty
   // processes can still be coterie *members*; they are just not required to
   // be reached.
-  std::vector<bool> coterie(const std::vector<bool>& correct) const;
+  ProcessSet coterie(const ProcessSet& correct) const;
 
  private:
   int n_;
-  // influence_[q][p] == true iff p ->_H q.
-  std::vector<std::vector<bool>> influence_;
-  std::vector<std::vector<bool>> influence_at_send_;
+  // influence_[q] holds { p : p ->_H q }.
+  std::vector<ProcessSet> influence_;
+  std::vector<ProcessSet> influence_at_send_;
 };
 
 }  // namespace ftss

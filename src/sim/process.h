@@ -9,10 +9,10 @@
 #pragma once
 
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "sim/types.h"
+#include "util/process_set.h"
 
 namespace ftss {
 
@@ -55,7 +55,7 @@ class SyncProcess {
   // The §2.4 suspect set, for protocols that maintain one (the Π⁺ compiler
   // output).  The observer records it into histories and traces; nullptr
   // means the protocol has no such set.
-  virtual const std::set<ProcessId>* suspect_set() const { return nullptr; }
+  virtual const ProcessSet* suspect_set() const { return nullptr; }
 };
 
 }  // namespace ftss

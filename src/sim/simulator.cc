@@ -39,7 +39,13 @@ SyncSimulator::SyncSimulator(SyncConfig config,
       plans_(processes_.size()),
       fault_manifested_(processes_.size(), false),
       causality_(static_cast<int>(processes_.size())),
-      last_suspects_(processes_.size()) {
+      in_flight_slots_(static_cast<std::size_t>(
+                           std::max(0, config.max_extra_delay)) +
+                       1),
+      inbox_(processes_.size()),
+      correct_(static_cast<int>(processes_.size())),
+      last_suspects_(processes_.size(),
+                     ProcessSet(static_cast<int>(processes_.size()))) {
   history_.n = static_cast<int>(processes_.size());
   for (const auto& p : processes_) {
     if (p->suspect_set() != nullptr) any_suspects_ = true;
@@ -95,9 +101,11 @@ bool SyncSimulator::crashed(ProcessId p) const {
   return plans_[p].crash_at && round_ >= *plans_[p].crash_at;
 }
 
-std::vector<bool> SyncSimulator::planned_faulty() const {
-  std::vector<bool> f(processes_.size(), false);
-  for (std::size_t p = 0; p < plans_.size(); ++p) f[p] = !plans_[p].empty();
+ProcessSet SyncSimulator::planned_faulty() const {
+  ProcessSet f(process_count());
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    if (!plans_[p].empty()) f.insert(static_cast<int>(p));
+  }
   return f;
 }
 
@@ -133,6 +141,7 @@ template <bool kTraced>
 void SyncSimulator::run_rounds_impl(int k) {
   started_ = true;
   const int n = process_count();
+  const std::size_t ring = in_flight_slots_.size();
 
   // The previous run_rounds call closed its books by recording still-in-
   // flight messages as lost; this call extends the execution, so those
@@ -152,17 +161,16 @@ void SyncSimulator::run_rounds_impl(int k) {
     rec.state.resize(n);
     rec.clock.resize(n);
 
-    std::vector<bool> alive(n);
     for (ProcessId p = 0; p < n; ++p) {
-      alive[p] = !(plans_[p].crash_at && r >= *plans_[p].crash_at);
-      rec.alive[p] = alive[p];
-      if (alive[p]) {
+      const bool alive = !(plans_[p].crash_at && r >= *plans_[p].crash_at);
+      rec.alive[p] = alive;
+      if (alive) {
         rec.halted[p] = processes_[p]->halted();
         if (config_.record_states) rec.state[p] = processes_[p]->snapshot_state();
         rec.clock[p] = processes_[p]->round_counter();
       }
       // A crash that takes effect this round manifests the fault now.
-      if (plans_[p].crash_at && r >= *plans_[p].crash_at) {
+      if (!alive) {
         mark_faulty(p, r, "crash");
       }
     }
@@ -171,7 +179,7 @@ void SyncSimulator::run_rounds_impl(int k) {
     if (any_suspects_ && config_.record_states) {
       rec.suspects.resize(n);
       for (ProcessId p = 0; p < n; ++p) {
-        if (!alive[p]) continue;
+        if (!rec.alive[p]) continue;
         if (const auto* s = processes_[p]->suspect_set()) {
           rec.suspects[p].assign(s->begin(), s->end());
         }
@@ -186,19 +194,17 @@ void SyncSimulator::run_rounds_impl(int k) {
     causality_.begin_round();
 
     // Send phase: every live, non-halted process emits its messages.
-    std::vector<Message> outgoing;
+    outgoing_.clear();
     for (ProcessId p = 0; p < n; ++p) {
-      if (!alive[p] || processes_[p]->halted()) continue;
-      OutboxImpl out(p, n, &outgoing);
+      if (!rec.alive[p] || processes_[p]->halted()) continue;
+      OutboxImpl out(p, n, &outgoing_);
       processes_[p]->begin_round(out);
     }
-
-    std::vector<std::vector<Message>> inbox(n);
 
     // Resolve a message at its delivery round: crash / receive-omission /
     // delivery, recording the outcome in the current round's record.
     auto resolve = [&](Message&& m, Round sent_round,
-                       const std::vector<bool>& sender_influence,
+                       const ProcessSet& sender_influence,
                        std::int64_t flow_id) {
       SendRecord sr;
       sr.sender = m.sender;
@@ -206,7 +212,7 @@ void SyncSimulator::run_rounds_impl(int k) {
       sr.sent_round = sent_round;
       sr.delivery_round = r;
       if (config_.record_states) sr.payload = m.payload;
-      if (!alive[m.dest]) {
+      if (!rec.alive[m.dest]) {
         sr.dest_crashed = true;
         if constexpr (kTraced) {
           trace_message(TraceEventKind::kDrop, r, m.sender, m.dest,
@@ -226,23 +232,27 @@ void SyncSimulator::run_rounds_impl(int k) {
                         sent_round, "", flow_id);
         }
         causality_.deliver_snapshot(sender_influence, m.dest);
-        inbox[m.dest].push_back(std::move(m));
+        inbox_[m.dest].push_back(std::move(m));
       }
       rec.sends.push_back(std::move(sr));
     };
 
-    // Messages from earlier rounds whose delivery jitter expires now.
-    if (auto it = in_flight_.find(r); it != in_flight_.end()) {
-      for (auto& flight : it->second) {
+    // Messages from earlier rounds whose delivery jitter expires now.  A
+    // slot is fully drained before any message can land in it again (delay
+    // is at most max_extra_delay = ring - 1).
+    {
+      auto& due = in_flight_slots_[static_cast<std::size_t>(r) % ring];
+      for (auto& flight : due) {
         resolve(std::move(flight.message), flight.sent_round,
                 flight.sender_influence, flight.flow_id);
       }
-      in_flight_.erase(it);
+      in_flight_count_ -= static_cast<int>(due.size());
+      due.clear();
     }
 
     // This round's sends: send-omission faults apply now; remote messages
     // may be delayed, self-deliveries never are.
-    for (auto& m : outgoing) {
+    for (auto& m : outgoing_) {
       std::int64_t fid = -1;
       if constexpr (kTraced) {
         fid = next_flow_id_++;
@@ -271,26 +281,37 @@ void SyncSimulator::run_rounds_impl(int k) {
       if (delay == 0) {
         resolve(std::move(m), r, causality_.send_snapshot(m.sender), fid);
       } else {
-        in_flight_[r + delay].push_back(InFlight{
-            std::move(m), r, causality_.send_snapshot(m.sender), fid});
+        in_flight_slots_[static_cast<std::size_t>(r + delay) % ring].push_back(
+            InFlight{std::move(m), r, causality_.send_snapshot(m.sender),
+                     fid});
+        ++in_flight_count_;
       }
     }
 
     // Receive/transition phase.
     for (ProcessId p = 0; p < n; ++p) {
-      if (!alive[p] || processes_[p]->halted()) continue;
-      std::stable_sort(inbox[p].begin(), inbox[p].end(),
-                       [](const Message& a, const Message& b) {
-                         return a.sender < b.sender;
-                       });
-      processes_[p]->end_round(inbox[p]);
+      auto& in = inbox_[p];
+      if (!rec.alive[p] || processes_[p]->halted()) {
+        in.clear();
+        continue;
+      }
+      // Deliveries land in send order, which is already sender-ascending in
+      // the jitter-free common case; only sort when jitter interleaved them.
+      const auto by_sender = [](const Message& a, const Message& b) {
+        return a.sender < b.sender;
+      };
+      if (!std::is_sorted(in.begin(), in.end(), by_sender)) {
+        std::stable_sort(in.begin(), in.end(), by_sender);
+      }
+      processes_[p]->end_round(in);
+      in.clear();
     }
 
     // Post-transition observations: adopted round variables and Π⁺
     // suspect-set deltas.
     if constexpr (kTraced) {
       for (ProcessId p = 0; p < n; ++p) {
-        if (!alive[p] || processes_[p]->halted()) continue;
+        if (!rec.alive[p] || processes_[p]->halted()) continue;
         if (const auto c = processes_[p]->round_counter()) {
           trace_->event(TraceEvent{.kind = TraceEventKind::kClockAdopt,
                                    .round = r,
@@ -302,10 +323,10 @@ void SyncSimulator::run_rounds_impl(int k) {
             s != nullptr && *s != last_suspects_[p]) {
           Value::Array added, removed;
           for (ProcessId q : *s) {
-            if (last_suspects_[p].count(q) == 0) added.push_back(Value(q));
+            if (!last_suspects_[p].contains(q)) added.push_back(Value(q));
           }
           for (ProcessId q : last_suspects_[p]) {
-            if (s->count(q) == 0) removed.push_back(Value(q));
+            if (!s->contains(q)) removed.push_back(Value(q));
           }
           Value delta;
           delta["added"] = Value(std::move(added));
@@ -320,9 +341,11 @@ void SyncSimulator::run_rounds_impl(int k) {
     }
 
     rec.faulty_by_now = fault_manifested_;
-    std::vector<bool> correct(n);
-    for (int p = 0; p < n; ++p) correct[p] = !fault_manifested_[p];
-    rec.coterie = causality_.coterie(correct);
+    correct_.clear();
+    for (int p = 0; p < n; ++p) {
+      if (!fault_manifested_[p]) correct_.insert(p);
+    }
+    rec.coterie = causality_.coterie(correct_).to_bools();
     if constexpr (kTraced) {
       if (history_.rounds.empty() ||
           history_.rounds.back().coterie != rec.coterie) {
@@ -345,11 +368,14 @@ void SyncSimulator::run_rounds_impl(int k) {
   // round's record as lost_in_flight drops (see SendRecord; retracted above
   // if the execution is extended).  The trace drop is not retractable: an
   // extended traced run re-resolves the same flow id, which is the tape's
-  // honest record of the observer closing and reopening the run.
-  if (k > 0 && !in_flight_.empty() && !history_.rounds.empty()) {
+  // honest record of the observer closing and reopening the run.  Slots are
+  // walked in delivery-round order (the order the old sorted map yielded).
+  if (k > 0 && in_flight_count_ > 0 && !history_.rounds.empty()) {
     auto& sends = history_.rounds.back().sends;
-    for (const auto& [delivery_round, flights] : in_flight_) {
-      for (const auto& flight : flights) {
+    for (std::size_t d = 1; d < ring; ++d) {
+      const Round delivery_round = round_ + static_cast<Round>(d);
+      for (const auto& flight :
+           in_flight_slots_[static_cast<std::size_t>(delivery_round) % ring]) {
         SendRecord sr;
         sr.sender = flight.message.sender;
         sr.dest = flight.message.dest;

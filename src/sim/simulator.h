@@ -5,9 +5,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "sim/causality.h"
@@ -15,6 +13,7 @@
 #include "sim/history.h"
 #include "sim/process.h"
 #include "sim/trace.h"
+#include "util/process_set.h"
 #include "util/rng.h"
 
 namespace ftss {
@@ -66,7 +65,7 @@ class SyncSimulator {
   bool crashed(ProcessId p) const;
   // Fault plans that *will* deviate at some point, i.e. F(H,Π) for the
   // infinite extension of this execution.
-  std::vector<bool> planned_faulty() const;
+  ProcessSet planned_faulty() const;
 
  private:
   class OutboxImpl;
@@ -79,7 +78,7 @@ class SyncSimulator {
   struct InFlight {
     Message message;
     Round sent_round = 0;
-    std::vector<bool> sender_influence;
+    ProcessSet sender_influence;
     std::int64_t flow_id = -1;  // trace flow linking send to delivery
   };
 
@@ -108,7 +107,18 @@ class SyncSimulator {
   std::vector<bool> fault_manifested_;
   CausalityTracker causality_;
   History history_;
-  std::map<Round, std::vector<InFlight>> in_flight_;  // by delivery round
+  // Message plane: delivery slot ring, indexed by delivery round modulo
+  // max_extra_delay + 1.  A message delayed by d in [1, max_extra_delay]
+  // lands d slots ahead of the slot being drained this round, so a slot is
+  // always fully drained before anything new lands in it.  Slots are
+  // cleared, never deallocated: after warm-up the steady-state round loop
+  // performs no message-plane allocation at all.
+  std::vector<std::vector<InFlight>> in_flight_slots_;
+  int in_flight_count_ = 0;  // total messages currently in flight
+  // Per-round scratch, likewise cleared-not-reallocated.
+  std::vector<Message> outgoing_;
+  std::vector<std::vector<Message>> inbox_;  // per destination
+  ProcessSet correct_;  // non-manifested processes, rebuilt each round
   // Synthetic lost_in_flight records appended to the final round's sends
   // when run_rounds returned with messages still in flight; retracted (and
   // the messages resolved normally) if the execution is extended.
@@ -118,7 +128,7 @@ class SyncSimulator {
   bool any_suspects_ = false;  // some process exposes a §2.4 suspect set
   TraceSink* trace_ = nullptr;
   std::int64_t next_flow_id_ = 0;
-  std::vector<std::set<ProcessId>> last_suspects_;  // for kSuspectDelta
+  std::vector<ProcessSet> last_suspects_;  // for kSuspectDelta
 };
 
 }  // namespace ftss

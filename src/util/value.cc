@@ -45,7 +45,7 @@ std::size_t Value::size() const {
   return 0;
 }
 
-bool operator==(const Value& a, const Value& b) {
+bool Value::eq_slow(const Value& a, const Value& b) {
   if (a.v_.index() != b.v_.index()) return false;
   // Shared node => deep-equal by construction (COW never mutates in place).
   if (a.is_array()) {
@@ -61,7 +61,7 @@ bool operator==(const Value& a, const Value& b) {
   return a.v_ == b.v_;
 }
 
-std::strong_ordering operator<=>(const Value& a, const Value& b) {
+std::strong_ordering Value::cmp_slow(const Value& a, const Value& b) {
   if (int ra = type_rank(a), rb = type_rank(b); ra != rb) {
     return ra <=> rb;
   }
@@ -205,6 +205,7 @@ class Parser {
   std::optional<Value> parse_value() {
     skip_ws();
     if (pos_ >= text_.size()) return std::nullopt;
+    if (depth_ >= kMaxDepth) return std::nullopt;
     const char c = text_[pos_];
     if (c == 'n') return consume_word("null") ? std::optional<Value>(Value())
                                               : std::nullopt;
@@ -303,24 +304,35 @@ class Parser {
 
   std::optional<Value> parse_array() {
     if (!consume('[')) return std::nullopt;
+    ++depth_;
     Value::Array items;
     skip_ws();
-    if (consume(']')) return Value(std::move(items));
+    if (consume(']')) {
+      --depth_;
+      return Value(std::move(items));
+    }
     while (true) {
       auto v = parse_value();
       if (!v) return std::nullopt;
       items.push_back(std::move(*v));
       skip_ws();
-      if (consume(']')) return Value(std::move(items));
+      if (consume(']')) {
+        --depth_;
+        return Value(std::move(items));
+      }
       if (!consume(',')) return std::nullopt;
     }
   }
 
   std::optional<Value> parse_map() {
     if (!consume('{')) return std::nullopt;
+    ++depth_;
     Value::Map items;
     skip_ws();
-    if (consume('}')) return Value(std::move(items));
+    if (consume('}')) {
+      --depth_;
+      return Value(std::move(items));
+    }
     while (true) {
       skip_ws();
       auto key = parse_string();
@@ -331,13 +343,23 @@ class Parser {
       if (!v) return std::nullopt;
       items[std::move(*key)] = std::move(*v);
       skip_ws();
-      if (consume('}')) return Value(std::move(items));
+      if (consume('}')) {
+        --depth_;
+        return Value(std::move(items));
+      }
       if (!consume(',')) return std::nullopt;
     }
   }
 
+  // Parsing recurses once per nesting level; repro files and corrupted-state
+  // dumps come from untrusted places (attack inputs, hand-edited files), so
+  // the depth is capped well below stack-overflow territory.  Every value
+  // this codebase writes is orders of magnitude shallower.
+  static constexpr int kMaxDepth = 256;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 }  // namespace
 

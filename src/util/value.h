@@ -99,8 +99,17 @@ class Value {
   // Array convenience.
   std::size_t size() const;
 
-  friend bool operator==(const Value& a, const Value& b);
-  friend std::strong_ordering operator<=>(const Value& a, const Value& b);
+  // Integers are the overwhelmingly common case on the hot path (protocol
+  // payload elements, ROUND tags), so both comparisons take an inline
+  // int-vs-int fast path and fall out of line for everything else.
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.is_int() && b.is_int()) return a.as_int() == b.as_int();
+    return eq_slow(a, b);
+  }
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b) {
+    if (a.is_int() && b.is_int()) return a.as_int() <=> b.as_int();
+    return cmp_slow(a, b);
+  }
 
   // Compact single-line JSON rendering (strings escaped), for logs, test
   // diagnostics and repro files.  parse() round-trips it exactly.
@@ -116,6 +125,9 @@ class Value {
   std::uint64_t hash() const;
 
  private:
+  static bool eq_slow(const Value& a, const Value& b);
+  static std::strong_ordering cmp_slow(const Value& a, const Value& b);
+
   // Refcounted container node.  `items` is logically immutable while the
   // node is shared; the COW accessors below enforce that by cloning first.
   // The hash cache uses a ready flag (acquire/release paired with the value

@@ -52,11 +52,10 @@ TEST(Causality, CoterieRequiresReachingAllCorrect) {
   t.deliver(0, 1);
   t.deliver(0, 2);
   t.deliver(1, 0);
-  std::vector<bool> correct{true, true, true};
-  auto cot = t.coterie(correct);
-  EXPECT_TRUE(cot[0]);
-  EXPECT_FALSE(cot[1]);  // 1 has not reached 2
-  EXPECT_FALSE(cot[2]);
+  auto cot = t.coterie(ProcessSet::of_bools({true, true, true}));
+  EXPECT_TRUE(cot.contains(0));
+  EXPECT_FALSE(cot.contains(1));  // 1 has not reached 2
+  EXPECT_FALSE(cot.contains(2));
 }
 
 TEST(Causality, FaultyProcessesNotRequiredToBeReached) {
@@ -65,11 +64,10 @@ TEST(Causality, FaultyProcessesNotRequiredToBeReached) {
   t.deliver(0, 1);
   t.deliver(1, 0);
   // 2 is faulty: only 0 and 1 must be reached.
-  std::vector<bool> correct{true, true, false};
-  auto cot = t.coterie(correct);
-  EXPECT_TRUE(cot[0]);
-  EXPECT_TRUE(cot[1]);
-  EXPECT_FALSE(cot[2]);  // 2 reached nobody correct except... nobody
+  auto cot = t.coterie(ProcessSet::of_bools({true, true, false}));
+  EXPECT_TRUE(cot.contains(0));
+  EXPECT_TRUE(cot.contains(1));
+  EXPECT_FALSE(cot.contains(2));  // 2 reached nobody correct except... nobody
 }
 
 TEST(Causality, FaultyProcessCanBeCoterieMember) {
@@ -81,9 +79,8 @@ TEST(Causality, FaultyProcessCanBeCoterieMember) {
   t.deliver(2, 1);
   t.deliver(0, 1);
   t.deliver(1, 0);
-  std::vector<bool> correct{true, true, false};
-  auto cot = t.coterie(correct);
-  EXPECT_TRUE(cot[2]);
+  auto cot = t.coterie(ProcessSet::of_bools({true, true, false}));
+  EXPECT_TRUE(cot.contains(2));
 }
 
 TEST(Causality, CoterieInFullCommunicationIsEveryone) {

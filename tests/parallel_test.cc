@@ -37,6 +37,49 @@ TEST(ParallelSweep, ExplicitThreadCounts) {
   }
 }
 
+TEST(ParallelSweep, PlainFunctionObjectsWork) {
+  // The callable is a template parameter: no std::function wrapper is
+  // required (or constructed), so any callable shape works.
+  struct Squarer {
+    std::size_t operator()(std::size_t i) const { return i * i; }
+  };
+  auto results = parallel_sweep<std::size_t>(25, Squarer{}, 4);
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ParallelSweep, ChunkedClaimingCoversEveryIndexExactlyOnce) {
+  // Count chosen to not divide evenly by any chunk size so boundary chunks
+  // are exercised; every index must be evaluated exactly once.
+  for (unsigned threads : {2u, 3u, 8u, 16u}) {
+    const std::size_t count = 1013;
+    std::vector<std::atomic<int>> hits(count);
+    auto results = parallel_sweep<std::size_t>(
+        count,
+        [&hits](std::size_t i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+          return i;
+        },
+        threads);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+      EXPECT_EQ(results[i], i);
+    }
+  }
+}
+
+TEST(ParallelSweep, NonTrivialResultsStayOrdered) {
+  auto results = parallel_sweep<std::vector<int>>(
+      200,
+      [](std::size_t i) {
+        return std::vector<int>(i % 7 + 1, static_cast<int>(i));
+      },
+      8);
+  for (std::size_t i = 0; i < 200; ++i) {
+    ASSERT_EQ(results[i].size(), i % 7 + 1);
+    EXPECT_EQ(results[i].front(), static_cast<int>(i));
+  }
+}
+
 TEST(ParallelSweep, SimulationsAreIndependentAcrossThreads) {
   // The same seeded simulation run in parallel lanes must yield the same
   // stabilization measurement as sequentially — simulations share nothing.

@@ -234,7 +234,8 @@ TEST(SyncSimulator, ConfigurationAfterStartIsRejected) {
 TEST(SyncSimulator, PlannedFaultyReflectsPlans) {
   SyncSimulator sim(SyncConfig{}, probes(3));
   sim.set_fault_plan(2, FaultPlan::crash(100));
-  EXPECT_EQ(sim.planned_faulty(), (std::vector<bool>{false, false, true}));
+  EXPECT_EQ(sim.planned_faulty().to_bools(),
+            (std::vector<bool>{false, false, true}));
 }
 
 TEST(SyncSimulator, SendToBadDestinationThrows) {

@@ -76,6 +76,31 @@ TEST(ValueParse, IntegerOverflowRejected) {
   EXPECT_FALSE(Value::parse("-99999999999999999999999").has_value());
 }
 
+TEST(ValueParse, NestingDepthLimited) {
+  // Parsing recurses per nesting level; pathological inputs (fuzzed repro
+  // files, hostile corrupted-state dumps) must fail cleanly instead of
+  // overflowing the stack.
+  auto nested = [](int depth, const char* core) {
+    std::string s;
+    for (int i = 0; i < depth; ++i) s += '[';
+    s += core;
+    for (int i = 0; i < depth; ++i) s += ']';
+    return s;
+  };
+  // Comfortably deep inputs still parse...
+  auto ok = Value::parse(nested(100, "7"));
+  ASSERT_TRUE(ok.has_value());
+  // ...but beyond the cap the parser returns nullopt (for arrays, maps and
+  // mixes alike), no matter how much deeper the input goes.
+  EXPECT_FALSE(Value::parse(nested(10'000, "7")).has_value());
+  EXPECT_FALSE(Value::parse(nested(257, "7")).has_value());
+  std::string deep_map;
+  for (int i = 0; i < 10'000; ++i) deep_map += "{\"k\":";
+  deep_map += "1";
+  for (int i = 0; i < 10'000; ++i) deep_map += '}';
+  EXPECT_FALSE(Value::parse(deep_map).has_value());
+}
+
 TEST(ValueParse, EscapedStringRendering) {
   Value v("a\"b\\c\nd");
   EXPECT_EQ(v.to_string(), R"("a\"b\\c\nd")");
