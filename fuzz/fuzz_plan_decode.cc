@@ -1,0 +1,37 @@
+// libFuzzer harness for adversary-plan decoding.
+//
+// TrialPlan::from_value consumes explorer output and user-supplied replay
+// files (ftss_check --replay, ftss_conform --replay), so it must tolerate
+// arbitrary JSON: never crash, and every plan it does accept must
+// serialize/deserialize as a fixpoint and yield well-formed per-process
+// fault plans.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "check/plan.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const auto json = ftss::Value::parse(text);
+  if (!json) return 0;
+  const auto plan = ftss::TrialPlan::from_value(*json);
+  if (!plan) return 0;
+
+  // Round trip: to_value of an accepted plan must be re-acceptable and be a
+  // fixpoint of serialization.
+  const ftss::Value serialized = plan->to_value();
+  const auto reparsed = ftss::TrialPlan::from_value(serialized);
+  if (!reparsed) __builtin_trap();
+  if (!(reparsed->to_value() == serialized)) __builtin_trap();
+
+  // Merging fault specs into per-process plans must hold up for any
+  // accepted plan (bounded: fuzzed n can be arbitrary).
+  const int probe = plan->n > 0 ? (plan->n < 16 ? plan->n : 16) : 0;
+  for (int p = 0; p < probe; ++p) {
+    (void)plan->fault_plan_for(p);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// libFuzzer harness for Value::parse.
+//
+// Two properties: arbitrary bytes never crash the parser (ASan/UBSan catch
+// the rest), and anything it does accept round-trips — to_string of a
+// parsed value reparses to the same rendering (a fixpoint), with a stable
+// content hash.  Corrupted states in the paper's model are arbitrary
+// Values, so the parser sits directly on the adversary-facing surface.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/value.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const auto parsed = ftss::Value::parse(text);
+  if (!parsed) return 0;
+
+  const std::string rendered = parsed->to_string();
+  const auto reparsed = ftss::Value::parse(rendered);
+  if (!reparsed) __builtin_trap();                       // accepted but unprintable
+  if (reparsed->to_string() != rendered) __builtin_trap();  // not a fixpoint
+  if (reparsed->hash() != parsed->hash()) __builtin_trap();
+  if (!(*reparsed == *parsed)) __builtin_trap();
+  return 0;
+}

@@ -51,6 +51,11 @@ void EventSimulator::schedule_crash(ProcessId p, Time t) {
   crash_at_.at(p) = t;
 }
 
+void EventSimulator::set_delay_policy(DelayPolicy policy) {
+  if (started_) throw std::logic_error("delay policy must precede execution");
+  delay_policy_ = std::move(policy);
+}
+
 bool EventSimulator::crashed(ProcessId p) const {
   return crash_at_[p] && now_ >= *crash_at_[p];
 }
@@ -64,9 +69,14 @@ std::vector<bool> EventSimulator::crashed_by_now() const {
 void EventSimulator::enqueue_message(ProcessId from, ProcessId to,
                                      Value payload) {
   ++messages_sent_;
-  const Time max_delay =
-      now_ < config_.gst ? config_.max_delay_pre_gst : config_.max_delay;
-  const Time delay = rng_.uniform(config_.min_delay, max_delay);
+  Time delay;
+  if (delay_policy_) {
+    delay = delay_policy_(from, to, now_);
+  } else {
+    const Time max_delay =
+        now_ < config_.gst ? config_.max_delay_pre_gst : config_.max_delay;
+    delay = rng_.uniform(config_.min_delay, max_delay);
+  }
   queue_.push(Event{now_ + delay, next_seq_++, Event::Kind::kMessage, to, from,
                     std::move(payload)});
 }

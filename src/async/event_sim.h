@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -89,6 +90,14 @@ class EventSimulator {
   // Crash p at time t (no events delivered to it at or after t).
   void schedule_crash(ProcessId p, Time t);
 
+  // Deterministic delay override: when set, every message delay is
+  // policy(from, to, now) instead of a random draw (and the RNG is not
+  // consumed).  Used by harnesses — notably the conformance lock-step
+  // driver — that need exact, externally-resolved delivery times.  Must be
+  // set before the first run_until.
+  using DelayPolicy = std::function<Time(ProcessId from, ProcessId to, Time now)>;
+  void set_delay_policy(DelayPolicy policy);
+
   // Advance simulated time, dispatching all events with time <= until.
   void run_until(Time until);
 
@@ -101,6 +110,9 @@ class EventSimulator {
   // Counters for overhead reporting.
   std::int64_t messages_sent() const { return messages_sent_; }
   std::int64_t messages_delivered() const { return messages_delivered_; }
+  // Events (messages + ticks) still queued — after run_until(T) these are
+  // the in-flight messages scheduled past T plus the pending ticks.
+  std::size_t pending_events() const { return queue_.size(); }
 
  private:
   struct Event {
@@ -124,6 +136,7 @@ class EventSimulator {
 
   AsyncConfig config_;
   Rng rng_;
+  DelayPolicy delay_policy_;
   std::vector<std::unique_ptr<AsyncProcess>> processes_;
   std::vector<bool> skip_start_;
   std::vector<std::optional<Time>> crash_at_;

@@ -7,10 +7,8 @@
 #include <set>
 #include <sstream>
 
-#include "check/weakened.h"
-#include "core/compiler.h"
-#include "core/round_agreement.h"
-#include "protocols/suite.h"
+#include "check/shrink.h"
+#include "check/trial_build.h"
 #include "util/parallel.h"
 
 namespace ftss {
@@ -26,76 +24,6 @@ std::set<std::string> oracle_set(const TrialEvaluation& eval) {
 bool is_subset(const std::set<std::string>& sub,
                const std::set<std::string>& super) {
   return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
-}
-
-// Every one-step reduction of `plan`, in a fixed (deterministic) order of
-// decreasing expected payoff: structural deletions first, then parameter
-// simplifications.
-std::vector<TrialPlan> shrink_candidates(const TrialPlan& plan) {
-  std::vector<TrialPlan> out;
-  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
-    TrialPlan c = plan;
-    c.faults.erase(c.faults.begin() + static_cast<std::ptrdiff_t>(i));
-    out.push_back(std::move(c));
-  }
-  for (std::size_t i = 0; i < plan.corruptions.size(); ++i) {
-    TrialPlan c = plan;
-    c.corruptions.erase(c.corruptions.begin() +
-                        static_cast<std::ptrdiff_t>(i));
-    out.push_back(std::move(c));
-  }
-  if (plan.max_extra_delay > 0) {
-    TrialPlan c = plan;
-    c.max_extra_delay = 0;
-    out.push_back(std::move(c));
-    if (plan.max_extra_delay > 1) {
-      c = plan;
-      --c.max_extra_delay;
-      out.push_back(std::move(c));
-    }
-  }
-  if (plan.mode == TrialMode::kRoundAgreementSync && plan.rounds > 12) {
-    TrialPlan c = plan;
-    c.rounds = std::max(12, plan.rounds / 2);
-    out.push_back(std::move(c));
-  }
-  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
-    const FaultSpec& f = plan.faults[i];
-    if (f.kind != FaultSpec::Kind::kCrash) {
-      if (f.until == FaultSpec::kNoEnd) {
-        TrialPlan c = plan;
-        c.faults[i].until = plan.rounds;
-        out.push_back(std::move(c));
-      } else if (f.until > f.onset) {
-        TrialPlan c = plan;
-        c.faults[i].until = f.onset + (f.until - f.onset) / 2;
-        out.push_back(std::move(c));
-      }
-      if (f.permille != 1000) {
-        TrialPlan c = plan;
-        c.faults[i].permille = 1000;
-        out.push_back(std::move(c));
-      }
-    }
-    if (f.onset > 1) {
-      TrialPlan c = plan;
-      c.faults[i].onset = std::max<Round>(1, f.onset / 2);
-      if (c.faults[i].until != FaultSpec::kNoEnd &&
-          c.faults[i].until < c.faults[i].onset) {
-        c.faults[i].until = c.faults[i].onset;
-      }
-      out.push_back(std::move(c));
-    }
-  }
-  for (std::size_t i = 0; i < plan.corruptions.size(); ++i) {
-    const CorruptionSpec& c0 = plan.corruptions[i];
-    if (std::abs(c0.magnitude) > 8) {
-      TrialPlan c = plan;
-      c.corruptions[i].magnitude = c0.magnitude / 8;
-      out.push_back(std::move(c));
-    }
-  }
-  return out;
 }
 
 void fold_coverage(const TrialPlan& plan, Coverage& cov) {
@@ -159,28 +87,12 @@ TrialResult run_trial(const TrialPlan& plan, const TrialRunOptions& options) {
   TrialResult result;
   result.plan = plan;
 
-  std::vector<std::unique_ptr<SyncProcess>> procs;
-  if (plan.mode == TrialMode::kCompiled) {
-    const ProtocolSpec* spec = find_protocol(plan.protocol);
-    if (spec == nullptr) {
-      result.evaluation.violations.push_back(
-          Violation{"compiled-setup", "unknown protocol: " + plan.protocol});
-      return result;
-    }
-    CompilerOptions compiler_options;
-    compiler_options.use_round_tags =
-        plan.weakened != WeakenedKind::kCompilerNoRoundTags;
-    procs = compile_protocol(plan.n, spec->make(plan.f_budget),
-                             spec->inputs(plan.n), compiler_options);
-  } else {
-    const bool weak = plan.weakened == WeakenedKind::kRoundAgreementMaxRule;
-    for (ProcessId p = 0; p < plan.n; ++p) {
-      if (weak) {
-        procs.push_back(std::make_unique<WeakRoundAgreementProcess>(p));
-      } else {
-        procs.push_back(std::make_unique<RoundAgreementProcess>(p));
-      }
-    }
+  std::string error;
+  std::vector<std::unique_ptr<SyncProcess>> procs =
+      build_trial_processes(plan, &error);
+  if (procs.empty()) {
+    result.evaluation.violations.push_back(Violation{"compiled-setup", error});
+    return result;
   }
 
   SyncConfig config;
@@ -189,13 +101,7 @@ TrialResult run_trial(const TrialPlan& plan, const TrialRunOptions& options) {
   config.max_extra_delay = plan.max_extra_delay;
   SyncSimulator sim(config, std::move(procs));
   sim.set_trace_sink(options.trace);
-  for (const auto& c : plan.corruptions) {
-    sim.corrupt_state(c.process, corruption_value(c));
-  }
-  for (ProcessId p = 0; p < plan.n; ++p) {
-    FaultPlan fp = plan.fault_plan_for(p);
-    if (!fp.empty()) sim.set_fault_plan(p, std::move(fp));
-  }
+  configure_trial(sim, plan);
   sim.run_rounds(plan.rounds);
   result.evaluation = evaluate_trial(sim, plan);
   if (options.history_out != nullptr) *options.history_out = sim.history();
@@ -217,25 +123,19 @@ TrialResult run_trial(const TrialPlan& plan, const TrialRunOptions& options) {
 }
 
 ShrinkResult shrink_trial(const TrialResult& failing, int budget) {
-  ShrinkResult res;
-  res.plan = failing.plan;
   const std::set<std::string> original = oracle_set(failing.evaluation);
-  bool progress = true;
-  while (progress && res.steps_tried < budget) {
-    progress = false;
-    for (TrialPlan& cand : shrink_candidates(res.plan)) {
-      if (res.steps_tried >= budget) break;
-      ++res.steps_tried;
-      const TrialResult r = run_trial(cand);
-      if (!r.evaluation.ok() && is_subset(oracle_set(r.evaluation), original)) {
-        res.plan = std::move(cand);
-        ++res.steps_accepted;
-        progress = true;
-        break;  // restart candidate generation from the smaller plan
-      }
-    }
-  }
-  return res;
+  // A candidate is accepted iff it still fails AND its violated-oracle set
+  // is a subset of the original's — shrinking must not drift into a
+  // different failure mode.
+  const PlanShrinkResult s = shrink_plan(
+      failing.plan,
+      [&original](const TrialPlan& cand) {
+        const TrialResult r = run_trial(cand);
+        return !r.evaluation.ok() &&
+               is_subset(oracle_set(r.evaluation), original);
+      },
+      budget);
+  return ShrinkResult{s.plan, s.steps_tried, s.steps_accepted};
 }
 
 ExplorerReport explore(const ExplorerConfig& config) {

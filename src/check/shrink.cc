@@ -1,0 +1,97 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ftss {
+
+std::vector<TrialPlan> shrink_candidates(const TrialPlan& plan) {
+  std::vector<TrialPlan> out;
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    TrialPlan c = plan;
+    c.faults.erase(c.faults.begin() + static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < plan.corruptions.size(); ++i) {
+    TrialPlan c = plan;
+    c.corruptions.erase(c.corruptions.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+  if (plan.max_extra_delay > 0) {
+    TrialPlan c = plan;
+    c.max_extra_delay = 0;
+    out.push_back(std::move(c));
+    if (plan.max_extra_delay > 1) {
+      c = plan;
+      --c.max_extra_delay;
+      out.push_back(std::move(c));
+    }
+  }
+  if (plan.mode == TrialMode::kRoundAgreementSync && plan.rounds > 12) {
+    TrialPlan c = plan;
+    c.rounds = std::max(12, plan.rounds / 2);
+    out.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    const FaultSpec& f = plan.faults[i];
+    if (f.kind != FaultSpec::Kind::kCrash) {
+      if (f.until == FaultSpec::kNoEnd) {
+        TrialPlan c = plan;
+        c.faults[i].until = plan.rounds;
+        out.push_back(std::move(c));
+      } else if (f.until > f.onset) {
+        TrialPlan c = plan;
+        c.faults[i].until = f.onset + (f.until - f.onset) / 2;
+        out.push_back(std::move(c));
+      }
+      if (f.permille != 1000) {
+        TrialPlan c = plan;
+        c.faults[i].permille = 1000;
+        out.push_back(std::move(c));
+      }
+    }
+    if (f.onset > 1) {
+      TrialPlan c = plan;
+      c.faults[i].onset = std::max<Round>(1, f.onset / 2);
+      if (c.faults[i].until != FaultSpec::kNoEnd &&
+          c.faults[i].until < c.faults[i].onset) {
+        c.faults[i].until = c.faults[i].onset;
+      }
+      out.push_back(std::move(c));
+    }
+  }
+  for (std::size_t i = 0; i < plan.corruptions.size(); ++i) {
+    const CorruptionSpec& c0 = plan.corruptions[i];
+    if (std::abs(c0.magnitude) > 8) {
+      TrialPlan c = plan;
+      c.corruptions[i].magnitude = c0.magnitude / 8;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+PlanShrinkResult shrink_plan(
+    const TrialPlan& start,
+    const std::function<bool(const TrialPlan&)>& still_fails, int budget) {
+  PlanShrinkResult res;
+  res.plan = start;
+  bool progress = true;
+  while (progress && res.steps_tried < budget) {
+    progress = false;
+    for (TrialPlan& cand : shrink_candidates(res.plan)) {
+      if (res.steps_tried >= budget) break;
+      ++res.steps_tried;
+      if (still_fails(cand)) {
+        res.plan = std::move(cand);
+        ++res.steps_accepted;
+        progress = true;
+        break;  // restart candidate generation from the smaller plan
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace ftss

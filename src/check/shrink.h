@@ -1,0 +1,38 @@
+// Greedy TrialPlan shrinking against an arbitrary failure predicate.
+//
+// The explorer shrinks oracle violations; the conformance harness shrinks
+// cross-engine divergences.  Both want the same reduction moves (drop a
+// fault, drop a corruption, zero the jitter, shorten windows and the run,
+// derandomize drop probabilities, shrink magnitudes and onsets), so the
+// candidate generator and the greedy fixpoint loop live here, parameterized
+// only by "does this smaller plan still fail the same way?".
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "check/plan.h"
+
+namespace ftss {
+
+// Every one-step reduction of `plan`, in a fixed (deterministic) order of
+// decreasing expected payoff: structural deletions first, then parameter
+// simplifications.
+std::vector<TrialPlan> shrink_candidates(const TrialPlan& plan);
+
+struct PlanShrinkResult {
+  TrialPlan plan;        // minimal plan still failing per the predicate
+  int steps_tried = 0;   // candidate executions spent
+  int steps_accepted = 0;
+};
+
+// Greedy shrink to a fixpoint (or until `budget` candidate evaluations are
+// spent).  `still_fails` must return true iff the candidate reproduces the
+// original failure — callers encode their own "same failure mode" rule
+// (oracle-set subset for the explorer, divergence-kind subset for the
+// conformance harness) so shrinking cannot drift into a different bug.
+PlanShrinkResult shrink_plan(
+    const TrialPlan& start,
+    const std::function<bool(const TrialPlan&)>& still_fails, int budget);
+
+}  // namespace ftss

@@ -1,0 +1,31 @@
+// Shared construction of the system a TrialPlan describes.
+//
+// run_trial (check/explorer.h) and the conformance harness (src/conform/)
+// must build *exactly* the same system from a plan — same process types,
+// same weakenings, same corruption and fault wiring — or a divergence
+// between them would measure setup skew rather than engine behavior.  The
+// construction therefore lives here, in one place.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/plan.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace ftss {
+
+// The processes the plan's mode/protocol/weakening selects, in id order.
+// Returns an empty vector (and sets *error if non-null) for an unknown
+// compiled protocol name.
+std::vector<std::unique_ptr<SyncProcess>> build_trial_processes(
+    const TrialPlan& plan, std::string* error = nullptr);
+
+// Applies the plan's systemic corruptions and fault plans to a simulator
+// freshly constructed over build_trial_processes(plan).  Must precede the
+// first run_rounds call.
+void configure_trial(SyncSimulator& sim, const TrialPlan& plan);
+
+}  // namespace ftss

@@ -1,0 +1,196 @@
+#include "conform/conform.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "check/shrink.h"
+#include "util/parallel.h"
+
+namespace ftss {
+
+namespace {
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv_str(std::uint64_t h, const std::string& s) {
+  for (unsigned char ch : s) {
+    h ^= ch;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<ProcessId> rotation(int n) {
+  std::vector<ProcessId> perm(n);
+  for (int p = 0; p < n; ++p) perm[p] = (p + 1) % n;
+  return perm;
+}
+
+std::string system_name(const TrialPlan& plan) {
+  return plan.mode == TrialMode::kCompiled ? plan.protocol
+                                           : to_string(plan.mode);
+}
+
+std::set<std::string> divergence_kinds(const std::vector<Divergence>& ds) {
+  std::set<std::string> kinds;
+  for (const Divergence& d : ds) kinds.insert(d.kind);
+  return kinds;
+}
+
+// Re-run one named oracle on a candidate plan (the shrinker's probe).
+OracleResult rerun_oracle(const std::string& oracle, const TrialPlan& plan) {
+  if (oracle == "lockstep") return check_lockstep(plan);
+  if (oracle == "extension") return check_extension(plan, plan.rounds / 2);
+  if (oracle == "permutation") {
+    return check_permutation(normalize_for_permutation(plan),
+                             rotation(plan.n));
+  }
+  if (oracle == "tracing") return check_trace_transparency(plan);
+  return check_cow_transparency(plan);
+}
+
+struct TrialOutcome {
+  TrialPlan plan;
+  std::vector<OracleResult> results;
+};
+
+}  // namespace
+
+TrialPlan normalize_for_permutation(const TrialPlan& plan) {
+  TrialPlan norm = plan;
+  norm.max_extra_delay = 0;
+  for (FaultSpec& f : norm.faults) f.permille = 1000;
+  return norm;
+}
+
+std::vector<OracleResult> run_conformance(const TrialPlan& plan) {
+  std::vector<OracleResult> out;
+  out.push_back(check_lockstep(plan));
+  out.push_back(check_extension(plan, plan.rounds / 2));
+  out.push_back(
+      check_permutation(normalize_for_permutation(plan), rotation(plan.n)));
+  out.push_back(check_trace_transparency(plan));
+  out.push_back(check_cow_transparency(plan));
+  return out;
+}
+
+ConformReport conform_sweep(const ConformConfig& config) {
+  ConformReport report;
+  report.trials = std::max(0, config.trials);
+
+  const std::vector<TrialOutcome> outcomes = parallel_sweep<TrialOutcome>(
+      static_cast<std::size_t>(report.trials),
+      [&config](std::size_t i) {
+        TrialOutcome outcome;
+        outcome.plan =
+            sample_trial(config.adversary, WeakenedKind::kNone,
+                         trial_seed_for(config.seed, static_cast<int>(i)));
+        outcome.results = run_conformance(outcome.plan);
+        return outcome;
+      },
+      config.jobs);
+
+  std::uint64_t fp = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < static_cast<int>(outcomes.size()); ++i) {
+    const TrialOutcome& outcome = outcomes[i];
+    ++report.systems[system_name(outcome.plan)];
+    fp = fnv(fp, outcome.plan.trial_seed);
+
+    const OracleResult* first_failure = nullptr;
+    for (const OracleResult& r : outcome.results) {
+      OracleTally& tally = report.oracles[r.oracle];
+      fp = fnv_str(fp, r.oracle);
+      if (!r.applicable) {
+        ++tally.skipped;
+        fp = fnv(fp, 1);
+        continue;
+      }
+      ++tally.ran;
+      if (r.ok()) {
+        fp = fnv(fp, 2);
+      } else {
+        ++tally.failed;
+        fp = fnv(fp, 3);
+        for (const std::string& kind : divergence_kinds(r.divergences)) {
+          fp = fnv_str(fp, kind);
+        }
+        if (first_failure == nullptr) first_failure = &r;
+      }
+    }
+
+    if (first_failure != nullptr) {
+      ++report.divergent_trials;
+      if (static_cast<int>(report.failures.size()) < config.max_failures) {
+        ConformFailure failure;
+        failure.index = i;
+        failure.oracle = first_failure->oracle;
+        failure.original = outcome.plan;
+        if (config.shrink) {
+          const std::set<std::string> original_kinds =
+              divergence_kinds(first_failure->divergences);
+          const std::string oracle = first_failure->oracle;
+          const PlanShrinkResult s = shrink_plan(
+              outcome.plan,
+              [&oracle, &original_kinds](const TrialPlan& cand) {
+                const OracleResult r = rerun_oracle(oracle, cand);
+                if (!r.applicable || r.ok()) return false;
+                const std::set<std::string> kinds =
+                    divergence_kinds(r.divergences);
+                return std::includes(original_kinds.begin(),
+                                     original_kinds.end(), kinds.begin(),
+                                     kinds.end());
+              },
+              config.shrink_budget);
+          failure.shrunk = s.plan;
+          failure.shrink_steps = s.steps_accepted;
+          failure.divergences =
+              rerun_oracle(oracle, failure.shrunk).divergences;
+        } else {
+          failure.shrunk = outcome.plan;
+          failure.divergences = first_failure->divergences;
+        }
+        report.failures.push_back(std::move(failure));
+      }
+    }
+  }
+  report.fingerprint = fp;
+  return report;
+}
+
+std::string ConformReport::summary() const {
+  std::ostringstream os;
+  os << "conformance sweep: " << trials << " trials, " << divergent_trials
+     << " divergent\n";
+  os << "  systems:";
+  for (const auto& [name, count] : systems) {
+    os << " " << name << "=" << count;
+  }
+  os << "\n";
+  for (const auto& [name, tally] : oracles) {
+    os << "  oracle " << name << ": " << tally.ran << " ran, " << tally.failed
+       << " failed, " << tally.skipped << " skipped\n";
+  }
+  os << "  fingerprint: 0x" << std::hex << std::setfill('0') << std::setw(16)
+     << fingerprint << std::dec << std::setfill(' ') << "\n";
+  for (const ConformFailure& f : failures) {
+    os << "  DIVERGENCE at trial " << f.index << " [" << f.oracle
+       << "] (shrunk by " << f.shrink_steps << " steps):\n";
+    os << f.shrunk.describe();
+    for (const Divergence& d : f.divergences) {
+      os << "    " << describe(d) << "\n";
+    }
+    os << "    replay: " << f.shrunk.to_value().to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ftss

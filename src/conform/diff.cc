@@ -1,0 +1,312 @@
+#include "conform/diff.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace ftss {
+
+namespace {
+
+std::uint64_t fnv_str(std::uint64_t h, const std::string& s) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+int fate_code(const SendRecord& s) {
+  if (s.delivered) return 0;
+  if (s.dropped_by_sender) return 1;
+  if (s.dropped_by_receiver) return 2;
+  if (s.dest_crashed) return 3;
+  if (s.lost_in_flight) return 4;
+  return 5;  // no fate recorded at all (itself a reportable oddity)
+}
+
+const char* fate_name(int code) {
+  switch (code) {
+    case 0: return "delivered";
+    case 1: return "dropped-by-sender";
+    case 2: return "dropped-by-receiver";
+    case 3: return "dest-crashed";
+    case 4: return "lost-in-flight";
+    default: return "unresolved";
+  }
+}
+
+// Canonical per-round ordering: content-identifying fields first, payload
+// hash as the final tie-break so the order is deterministic without deep
+// comparisons in the sort.
+bool canonical_less(const SendRecord& a, const SendRecord& b) {
+  const auto key = [](const SendRecord& s) {
+    return std::make_tuple(s.sent_round, s.sender, s.dest, s.delivery_round,
+                           fate_code(s), s.payload.hash());
+  };
+  return key(a) < key(b);
+}
+
+std::vector<SendRecord> canonical_sends(const RoundRecord& rec) {
+  std::vector<SendRecord> out = rec.sends;
+  std::stable_sort(out.begin(), out.end(), canonical_less);
+  return out;
+}
+
+std::string send_brief(const SendRecord& s, bool with_payload) {
+  std::ostringstream os;
+  os << s.sender << "->" << s.dest << " sent@" << s.sent_round << " due@"
+     << s.delivery_round << " " << fate_name(fate_code(s));
+  if (with_payload && !s.payload.is_null()) os << " " << s.payload.to_string();
+  return os.str();
+}
+
+std::string clock_str(const std::optional<Round>& c) {
+  return c ? std::to_string(*c) : std::string("-");
+}
+
+std::string ids_str(const std::vector<ProcessId>& ids) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids[i]);
+  }
+  return out + "}";
+}
+
+std::string bools_str(const std::vector<bool>& bs) {
+  std::string out;
+  for (const bool b : bs) out += b ? '1' : '0';
+  return out;
+}
+
+class DivergenceSink {
+ public:
+  DivergenceSink(std::vector<Divergence>& out, int max) : out_(out), max_(max) {}
+
+  template <typename MakeDetail>
+  void report(const char* kind, Round round, MakeDetail&& make_detail) {
+    ++found_;
+    if (static_cast<int>(out_.size()) < max_) {
+      out_.push_back(Divergence{kind, round, make_detail()});
+    }
+  }
+
+  int found() const { return found_; }
+
+ private:
+  std::vector<Divergence>& out_;
+  int max_;
+  int found_ = 0;
+};
+
+}  // namespace
+
+std::vector<Divergence> diff_histories(const History& a, const History& b,
+                                       const DiffOptions& options) {
+  std::vector<Divergence> out;
+  DivergenceSink sink(out, options.max_divergences);
+
+  if (a.n != b.n) {
+    sink.report("length", 0, [&] {
+      return "process counts differ: " + std::to_string(a.n) + " vs " +
+             std::to_string(b.n);
+    });
+    return out;
+  }
+  if (a.rounds.size() != b.rounds.size()) {
+    sink.report("length", 0, [&] {
+      return "round counts differ: " + std::to_string(a.rounds.size()) +
+             " vs " + std::to_string(b.rounds.size());
+    });
+  }
+
+  const std::size_t rounds = std::min(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const RoundRecord& ra = a.rounds[i];
+    const RoundRecord& rb = b.rounds[i];
+    const Round r = ra.round;
+
+    for (int p = 0; p < a.n; ++p) {
+      if (ra.alive[p] != rb.alive[p]) {
+        sink.report("alive", r, [&] {
+          return "p" + std::to_string(p) + ": " +
+                 (ra.alive[p] ? "alive" : "crashed") + " vs " +
+                 (rb.alive[p] ? "alive" : "crashed");
+        });
+      }
+      if (ra.halted[p] != rb.halted[p]) {
+        sink.report("halted", r, [&] {
+          return "p" + std::to_string(p) + ": halted " +
+                 bools_str({ra.halted[p]}) + " vs " + bools_str({rb.halted[p]});
+        });
+      }
+      if (ra.clock[p] != rb.clock[p]) {
+        sink.report("clock", r, [&] {
+          return "p" + std::to_string(p) + ": " + clock_str(ra.clock[p]) +
+                 " vs " + clock_str(rb.clock[p]);
+        });
+      }
+      if (options.compare_states && ra.state[p] != rb.state[p]) {
+        sink.report("state", r, [&] {
+          return "p" + std::to_string(p) + ": " + ra.state[p].to_string() +
+                 " vs " + rb.state[p].to_string();
+        });
+      }
+    }
+
+    {
+      const std::vector<SendRecord> sa = canonical_sends(ra);
+      const std::vector<SendRecord> sb = canonical_sends(rb);
+      if (sa.size() != sb.size()) {
+        sink.report("sends", r, [&] {
+          return "send-record counts differ: " + std::to_string(sa.size()) +
+                 " vs " + std::to_string(sb.size());
+        });
+      }
+      const std::size_t ns = std::min(sa.size(), sb.size());
+      for (std::size_t s = 0; s < ns; ++s) {
+        const bool payload_differs =
+            options.compare_payloads && !(sa[s].payload == sb[s].payload);
+        if (sa[s].sender != sb[s].sender || sa[s].dest != sb[s].dest ||
+            sa[s].sent_round != sb[s].sent_round ||
+            sa[s].delivery_round != sb[s].delivery_round ||
+            fate_code(sa[s]) != fate_code(sb[s]) || payload_differs) {
+          sink.report("sends", r, [&] {
+            return send_brief(sa[s], options.compare_payloads) + " vs " +
+                   send_brief(sb[s], options.compare_payloads);
+          });
+        }
+      }
+    }
+
+    if (options.compare_suspects && ra.suspects != rb.suspects) {
+      sink.report("suspects", r, [&] {
+        for (std::size_t p = 0; p < ra.suspects.size() && p < rb.suspects.size();
+             ++p) {
+          if (ra.suspects[p] != rb.suspects[p]) {
+            return "p" + std::to_string(p) + ": " + ids_str(ra.suspects[p]) +
+                   " vs " + ids_str(rb.suspects[p]);
+          }
+        }
+        return std::string("suspect-set shapes differ");
+      });
+    }
+    if (ra.faulty_by_now != rb.faulty_by_now) {
+      sink.report("faulty", r, [&] {
+        return bools_str(ra.faulty_by_now) + " vs " + bools_str(rb.faulty_by_now);
+      });
+    }
+    if (ra.coterie != rb.coterie) {
+      sink.report("coterie", r, [&] {
+        return bools_str(ra.coterie) + " vs " + bools_str(rb.coterie);
+      });
+    }
+  }
+  return out;
+}
+
+std::uint64_t history_fingerprint(const History& h) {
+  std::uint64_t fp = kFnvBasis;
+  fp = fnv_str(fp, "n=" + std::to_string(h.n));
+  for (const RoundRecord& rec : h.rounds) {
+    fp = fnv_str(fp, "r" + std::to_string(rec.round));
+    fp = fnv_str(fp, bools_str(rec.alive));
+    fp = fnv_str(fp, bools_str(rec.halted));
+    for (int p = 0; p < h.n; ++p) {
+      fp = fnv_str(fp, clock_str(rec.clock[p]));
+      fp = fnv_str(fp, rec.state[p].is_null() ? "-" : rec.state[p].to_string());
+    }
+    for (const SendRecord& s : canonical_sends(rec)) {
+      fp = fnv_str(fp, send_brief(s, /*with_payload=*/true));
+    }
+    for (const auto& susp : rec.suspects) fp = fnv_str(fp, ids_str(susp));
+    fp = fnv_str(fp, bools_str(rec.faulty_by_now));
+    fp = fnv_str(fp, bools_str(rec.coterie));
+  }
+  return fp;
+}
+
+Value deep_copy_value(const Value& v) {
+  if (v.is_array()) {
+    Value::Array out;
+    out.reserve(v.as_array().size());
+    for (const Value& item : v.as_array()) out.push_back(deep_copy_value(item));
+    return Value(std::move(out));
+  }
+  if (v.is_map()) {
+    Value::Map out;
+    for (const auto& [k, item] : v.as_map()) {
+      out.emplace(k, deep_copy_value(item));
+    }
+    return Value(std::move(out));
+  }
+  return v;  // scalars carry no shared nodes
+}
+
+TrialPlan permute_plan(const TrialPlan& plan,
+                       const std::vector<ProcessId>& perm) {
+  TrialPlan out = plan;
+  for (auto& f : out.faults) {
+    f.process = perm.at(f.process);
+    if (f.peer != OmissionRule::kAllPeers) f.peer = perm.at(f.peer);
+  }
+  for (auto& c : out.corruptions) c.process = perm.at(c.process);
+  return out;
+}
+
+History permute_history(const History& h, const std::vector<ProcessId>& perm) {
+  History out;
+  out.n = h.n;
+  out.rounds.reserve(h.rounds.size());
+  for (const RoundRecord& rec : h.rounds) {
+    RoundRecord pr;
+    pr.round = rec.round;
+    pr.alive.resize(h.n);
+    pr.halted.resize(h.n);
+    pr.state.resize(h.n);
+    pr.clock.resize(h.n);
+    pr.faulty_by_now.resize(h.n);
+    pr.coterie.resize(h.n);
+    if (!rec.suspects.empty()) pr.suspects.resize(h.n);
+    for (int p = 0; p < h.n; ++p) {
+      const int q = perm.at(p);
+      pr.alive[q] = rec.alive[p];
+      pr.halted[q] = rec.halted[p];
+      pr.state[q] = rec.state[p];
+      pr.clock[q] = rec.clock[p];
+      pr.faulty_by_now[q] = rec.faulty_by_now[p];
+      pr.coterie[q] = rec.coterie[p];
+      if (!rec.suspects.empty()) {
+        std::vector<ProcessId> renamed;
+        renamed.reserve(rec.suspects[p].size());
+        for (const ProcessId s : rec.suspects[p]) renamed.push_back(perm.at(s));
+        std::sort(renamed.begin(), renamed.end());
+        pr.suspects[q] = std::move(renamed);
+      }
+    }
+    pr.sends.reserve(rec.sends.size());
+    for (SendRecord s : rec.sends) {
+      s.sender = perm.at(s.sender);
+      s.dest = perm.at(s.dest);
+      pr.sends.push_back(std::move(s));
+    }
+    out.rounds.push_back(std::move(pr));
+  }
+  return out;
+}
+
+const std::vector<Divergence>& no_divergences() {
+  static const std::vector<Divergence> kNone;
+  return kNone;
+}
+
+std::string describe(const Divergence& d) {
+  std::ostringstream os;
+  os << d.kind << "@" << d.round << ": " << d.detail;
+  return os.str();
+}
+
+}  // namespace ftss

@@ -1,0 +1,129 @@
+// ftss_conform: cross-simulator conformance sweep CLI.
+//
+//   ftss_conform --trials 240 --seed 42     run the standard sweep
+//   ftss_conform --replay plan.json         run every oracle on one plan
+//   ftss_conform --lockstep plan.json       print both legs' fingerprints
+//
+// Exit code: 0 iff no oracle diverged on any trial.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "conform/conform.h"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: ftss_conform [options]\n"
+               "  --trials N       number of sampled plans (default 240)\n"
+               "  --seed S         run seed (default 42)\n"
+               "  --jobs J         worker threads (default: hardware)\n"
+               "  --no-shrink      report divergent plans without shrinking\n"
+               "  --max-failures K divergent plans to keep (default 3)\n"
+               "  --replay FILE    run the oracle battery on one plan JSON\n"
+               "  --lockstep FILE  run only the differential leg, print both\n"
+               "                   history fingerprints\n";
+}
+
+std::optional<ftss::TrialPlan> load_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ftss_conform: cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = ftss::Value::parse(buffer.str());
+  if (!parsed) {
+    std::cerr << "ftss_conform: " << path << " is not valid plan JSON\n";
+    return std::nullopt;
+  }
+  const auto plan = ftss::TrialPlan::from_value(*parsed);
+  if (!plan) {
+    std::cerr << "ftss_conform: " << path << " is not a well-formed plan\n";
+    return std::nullopt;
+  }
+  return plan;
+}
+
+int replay(const std::string& path) {
+  const auto plan = load_plan(path);
+  if (!plan) return 2;
+  std::cout << plan->describe();
+  bool diverged = false;
+  for (const ftss::OracleResult& r : ftss::run_conformance(*plan)) {
+    std::cout << r.describe() << "\n";
+    if (r.applicable && !r.ok()) diverged = true;
+  }
+  std::cout << (diverged ? "DIVERGED\n" : "CONFORMS\n");
+  return diverged ? 1 : 0;
+}
+
+int lockstep(const std::string& path) {
+  const auto plan = load_plan(path);
+  if (!plan) return 2;
+  const ftss::LockstepResult result = ftss::run_lockstep_trial(*plan);
+  if (!result.supported) {
+    std::cout << "unsupported: " << result.unsupported_reason << "\n";
+    return 2;
+  }
+  std::cout << std::hex << std::setfill('0');
+  std::cout << "sync  fingerprint: 0x" << std::setw(16)
+            << result.sync_fingerprint << "\n";
+  std::cout << "event fingerprint: 0x" << std::setw(16)
+            << result.event_fingerprint << "\n";
+  std::cout << std::dec << std::setfill(' ');
+  for (const ftss::Divergence& d : result.divergences) {
+    std::cout << ftss::describe(d) << "\n";
+  }
+  return result.divergences.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftss::ConformConfig config;
+  std::string replay_path;
+  std::string lockstep_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "ftss_conform: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trials") {
+      config.trials = std::atoi(next());
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--jobs" || arg == "--threads") {
+      config.jobs = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--no-shrink") {
+      config.shrink = false;
+    } else if (arg == "--max-failures") {
+      config.max_failures = std::atoi(next());
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--lockstep") {
+      lockstep_path = next();
+    } else {
+      usage();
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  if (!replay_path.empty()) return replay(replay_path);
+  if (!lockstep_path.empty()) return lockstep(lockstep_path);
+
+  const ftss::ConformReport report = ftss::conform_sweep(config);
+  std::cout << report.summary();
+  return report.ok() ? 0 : 1;
+}

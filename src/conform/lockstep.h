@@ -1,0 +1,75 @@
+// Cross-simulator differential leg: the same TrialPlan executed by the
+// round-based SyncSimulator and by the discrete-event EventSimulator driven
+// in lock-step round mode.
+//
+// The sync leg runs first and *resolves* the plan's randomness: every
+// message's fate (delivered / dropped, and by whom) and delivery round is
+// read off its recorded history — which the explorer's universal audits
+// independently hold to the plan.  The event leg then re-executes the same
+// resolved schedule through entirely different machinery: AsyncProcess
+// adapters wrapping fresh SyncProcess instances, one tick per process per
+// round (time r*kRoundPeriod + p), payloads crossing the event queue as
+// wrapped Values, crashes enforced by the event simulator's own time-based
+// gating, deliveries landing as timed events.  An external observer inside
+// the driver reconstructs a History from what the event leg actually did —
+// liveness from ticks that fired, clocks/states from adapter snapshots,
+// send fates from deliveries observed — and the differ compares the two
+// histories, the final states, and the metrics snapshots.
+//
+// What this checks: protocol transition equivalence under a second engine,
+// the event simulator's crash/dispatch semantics against the sync model,
+// Value copy-on-write behavior across the event queue, and both engines'
+// message accounting (including lost-in-flight closure).  What it does not
+// re-randomize: fault coin flips and jitter draws, which are taken from the
+// sync leg's audited history so the two executions are comparable at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/plan.h"
+#include "conform/diff.h"
+#include "sim/history.h"
+
+namespace ftss {
+
+// Virtual event-simulator time layout: round r occupies
+// [r*kRoundPeriod, (r+1)*kRoundPeriod); process p ticks at r*kRoundPeriod+p
+// and all of round r's deliveries land at r*kRoundPeriod + kDeliverOffset,
+// strictly after every tick of the round.
+inline constexpr std::int64_t kRoundPeriod = 64;
+inline constexpr std::int64_t kDeliverOffset = 48;
+
+struct LockstepOptions {
+  // TEST HOOK (mutation testing): suppress the k-th accepted delivery in
+  // the event leg, 0-based across the run; -1 = none.  Proves the
+  // differential oracle can fail when an engine actually misbehaves.
+  int drop_delivery_index = -1;
+};
+
+struct LockstepResult {
+  // False when the plan cannot be executed in lock-step mode (unknown
+  // protocol, n too large for the tick stagger, or an ambiguous schedule:
+  // one process sending the same destination twice in one round with
+  // different fates, which the fate-replay keying cannot attribute).
+  bool supported = true;
+  std::string unsupported_reason;
+
+  History sync_history;
+  History event_history;
+  std::uint64_t sync_fingerprint = 0;
+  std::uint64_t event_fingerprint = 0;
+  // History diffs plus cross-checks the histories cannot express: final
+  // state/clock of surviving processes ("final-state", "final-clock"),
+  // crash-vector agreement ("crashed"), metrics-snapshot agreement
+  // ("metrics") and schedule-replay integrity ("schedule").
+  std::vector<Divergence> divergences;
+
+  bool ok() const { return supported && divergences.empty(); }
+};
+
+LockstepResult run_lockstep_trial(const TrialPlan& plan,
+                                  const LockstepOptions& options = {});
+
+}  // namespace ftss

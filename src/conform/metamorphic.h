@@ -1,0 +1,93 @@
+// Metamorphic conformance oracles: transformations of a trial that must not
+// change what the external observer records.
+//
+// Each oracle runs a plan twice — once plainly, once under a supposedly
+// observation-neutral change — and diffs the recorded histories:
+//
+//   extension      run_rounds(k+m) ≡ run_rounds(k); run_rounds(m).  Exercises
+//                  the simulator's incremental-extension contract, in
+//                  particular the lost-in-flight flush/retract books.
+//   permutation    renaming processes commutes with execution: running a
+//                  renamed plan equals renaming the original history.
+//   tracing        attaching a trace sink must not perturb the run at all
+//                  (the observability layer's core promise).
+//   cow            deep-copying every payload/state crossing a process
+//                  boundary (severing all copy-on-write sharing) changes
+//                  nothing — i.e. no component mutates a shared Value.
+//   lockstep       the cross-simulator differential leg (conform/lockstep.h)
+//                  exposed under the same result shape.
+//
+// Every oracle carries a deliberate-breakage hook so tests can prove it is
+// able to fail (mutation testing); see each Options struct.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/plan.h"
+#include "conform/diff.h"
+#include "conform/lockstep.h"
+
+namespace ftss {
+
+struct OracleResult {
+  std::string oracle;  // "extension" | "permutation" | "tracing" | "cow" |
+                       // "lockstep"
+  // False when the transformation is not meaning-preserving for this plan
+  // (see skip_reason); such results are skipped, not failed.
+  bool applicable = true;
+  std::string skip_reason;
+  std::vector<Divergence> divergences;
+
+  bool ok() const { return divergences.empty(); }
+  std::string describe() const;
+};
+
+struct ExtensionOptions {
+  // TEST HOOK: model an engine that cannot extend — run the second segment
+  // on a freshly-built simulator instead of continuing the first.
+  bool restart_instead_of_extend = false;
+};
+
+// Splits the run after `split_at` rounds (clamped to [1, rounds-1]; plans
+// with fewer than 2 rounds are inapplicable).
+OracleResult check_extension(const TrialPlan& plan, int split_at,
+                             const ExtensionOptions& options = {});
+
+struct PermutationOptions {
+  // TEST HOOK: diff the renamed run against the *unrenamed* baseline
+  // history, which must disagree whenever the permutation moves a process
+  // that matters.
+  bool skip_history_rename = false;
+};
+
+// Applicable only to plans whose execution is invariant under renaming:
+// round-agreement modes (their state is id-free) with no jitter and no
+// probabilistic omissions (both draw from the RNG in id order, so renaming
+// changes the draws).  `perm` maps old id -> new id.
+OracleResult check_permutation(const TrialPlan& plan,
+                               const std::vector<ProcessId>& perm,
+                               const PermutationOptions& options = {});
+
+struct TracingOptions {
+  // TEST HOOK: diff the traced run against a run of this other plan instead
+  // of the same one.
+  const TrialPlan* baseline_override = nullptr;
+};
+
+OracleResult check_trace_transparency(const TrialPlan& plan,
+                                      const TracingOptions& options = {});
+
+// Transform applied to every Value crossing a process boundary in the
+// instrumented leg.  Default (null) = conform/diff.h's deep_copy_value; a
+// mutation test passes a tampering transform instead.
+using PayloadTransform = std::function<Value(const Value&)>;
+
+OracleResult check_cow_transparency(const TrialPlan& plan,
+                                    const PayloadTransform& transform = {});
+
+OracleResult check_lockstep(const TrialPlan& plan,
+                            const LockstepOptions& options = {});
+
+}  // namespace ftss

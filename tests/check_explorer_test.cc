@@ -8,6 +8,7 @@
 #include <string>
 
 #include "check/explorer.h"
+#include "test_util.h"
 
 namespace ftss {
 namespace {
@@ -21,7 +22,7 @@ std::set<std::string> oracle_names(const std::vector<Violation>& violations) {
 TEST(CheckExplorer, ShippedProtocolsSurviveRandomAdversaries) {
   ExplorerConfig config;
   config.seed = 42;
-  config.trials = 300;
+  config.trials = 300 * testing::trial_scale();
   const ExplorerReport report = explore(config);
 
   EXPECT_EQ(report.failing_trials, 0) << report.summary();

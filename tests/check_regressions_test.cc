@@ -11,6 +11,7 @@
 
 #include "check/explorer.h"
 #include "check/plan.h"
+#include "conform/metamorphic.h"
 
 namespace ftss {
 namespace {
@@ -141,9 +142,67 @@ TEST(CheckRegressions, ClockCorruptionNearClampRecovers) {
   EXPECT_LE(*r.evaluation.stabilization, 1);
 }
 
+// ftss_conform --seed 42: the first conformance sweep failed its
+// permutation oracle on all 157 applicable trials; this is the shrunk
+// reproducer (no faults, no corruptions — the divergence is intrinsic).
+// Root cause, in the *harness*, not an engine: permute_history renames
+// record indices, senders and destinations but passes payloads through
+// opaquely, while Figure 1's messages embed their sender id as the "p"
+// field ({"type":"ROUND","p":sender,"c":round}).  The expected history
+// therefore named the old ids while the renamed run emitted the new ones,
+// and every send record mismatched.  check_permutation now rewrites the
+// sender field through the permutation; the skip_history_rename hook
+// preserves the original broken comparison, so this pin proves both that
+// the fix holds and that the oracle still has teeth.
+constexpr const char* kPermutationPayloadPin =
+    R"({"corruptions":[],"delay":0,"f":1,"faults":[],)"
+    R"("mode":"round-agreement-jitter","n":3,"rounds":60,)"
+    R"("seed":4456085495900499605,"weakened":"none"})";
+
+TEST(CheckRegressions, PermutationRenamesPayloadSenderIds) {
+  const TrialPlan plan = parse_plan(kPermutationPayloadPin);
+  const std::vector<ProcessId> rotation = {1, 2, 0};
+
+  const OracleResult fixed = check_permutation(plan, rotation);
+  ASSERT_TRUE(fixed.applicable) << fixed.skip_reason;
+  EXPECT_TRUE(fixed.ok()) << fixed.describe();
+
+  // The fault-free pin is invariant under renaming outright (permuting it
+  // yields the same plan), so the broken comparison trivially agrees there;
+  // its teeth show on the same schedule plus one crash the rotation moves.
+  TrialPlan crashed = plan;
+  crashed.faults.push_back(
+      FaultSpec{.process = 0, .kind = FaultSpec::Kind::kCrash, .onset = 3});
+  const OracleResult fixed_crashed = check_permutation(crashed, rotation);
+  ASSERT_TRUE(fixed_crashed.applicable) << fixed_crashed.skip_reason;
+  EXPECT_TRUE(fixed_crashed.ok()) << fixed_crashed.describe();
+
+  PermutationOptions broken;
+  broken.skip_history_rename = true;
+  const OracleResult unfixed = check_permutation(crashed, rotation, broken);
+  ASSERT_TRUE(unfixed.applicable) << unfixed.skip_reason;
+  EXPECT_FALSE(unfixed.ok());
+}
+
+// The same schedule through the cross-simulator differential leg: both
+// engines must agree fate-for-fate, and stay agreeing — the fingerprints
+// are equal by construction, their value is pinned by ConformSweep's
+// aggregate fingerprint in conform_test.cc.
+TEST(CheckRegressions, PinnedPlanLockstepConforms) {
+  for (const char* json : {kRaMaxShrunk, kClampProbe}) {
+    TrialPlan plan = parse_plan(json);
+    plan.weakened = WeakenedKind::kNone;  // conformance is protocol-agnostic
+    const LockstepResult r = run_lockstep_trial(plan);
+    ASSERT_TRUE(r.supported) << r.unsupported_reason;
+    EXPECT_TRUE(r.ok()) << json << ": " << describe(r.divergences.front());
+    EXPECT_EQ(r.sync_fingerprint, r.event_fingerprint) << json;
+  }
+}
+
 TEST(CheckRegressions, PinnedPlansRoundTripThroughSerialization) {
   for (const char* json : {kRaMaxShrunk, kNoTagsShrunk, kJitterNearMiss,
-                           kCompiledNearMiss, kClampProbe}) {
+                           kCompiledNearMiss, kClampProbe,
+                           kPermutationPayloadPin}) {
     const TrialPlan plan = parse_plan(json);
     const Value serialized = plan.to_value();
     const auto reparsed = TrialPlan::from_value(serialized);

@@ -18,6 +18,7 @@
 #include "protocols/reliable_broadcast.h"
 #include "sim/corrupt.h"
 #include "sim/simulator.h"
+#include "test_util.h"
 
 namespace ftss {
 namespace {
@@ -112,7 +113,7 @@ TEST_P(SyncFuzz, ArbitraryGarbageAndFaultsNeverFault) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SyncFuzz,
-                         ::testing::Range<std::uint64_t>(1, 26),
+                         ::testing::Range<std::uint64_t>(1, 1 + 25 * ftss::testing::trial_scale()),
                          [](const ::testing::TestParamInfo<std::uint64_t>& i) {
                            return "seed" + std::to_string(i.param);
                          });
@@ -156,7 +157,7 @@ TEST_P(AsyncFuzz, GarbageHostStatesNeverFault) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AsyncFuzz,
-                         ::testing::Range<std::uint64_t>(1, 21),
+                         ::testing::Range<std::uint64_t>(1, 1 + 20 * ftss::testing::trial_scale()),
                          [](const ::testing::TestParamInfo<std::uint64_t>& i) {
                            return "seed" + std::to_string(i.param);
                          });
@@ -185,7 +186,7 @@ TEST_P(RepeatedFuzz, GarbageRepeatedConsensusNeverFaults) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RepeatedFuzz,
-                         ::testing::Range<std::uint64_t>(1, 11),
+                         ::testing::Range<std::uint64_t>(1, 1 + 10 * ftss::testing::trial_scale()),
                          [](const ::testing::TestParamInfo<std::uint64_t>& i) {
                            return "seed" + std::to_string(i.param);
                          });

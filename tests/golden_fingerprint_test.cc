@@ -246,5 +246,65 @@ TEST(GoldenFingerprint, EventSimulator) {
   EXPECT_EQ(fp, 0x85600651899bc35cULL) << "event sim fingerprint 0x" << std::hex << fp;
 }
 
+// Event-simulator grid across GST placements and crash schedules: GST before
+// / after / interleaved with crashes, chaos-heavy pre-GST delays, crashes
+// landing mid-chaos and post-stabilization.  Pins the event queue's
+// (time, seq) ordering, the pre/post-GST delay split, tick staggering and
+// crash gating — the exact semantics the conform/ lock-step driver builds
+// on — independently of the sync simulator.
+struct EventGoldenCase {
+  const char* name;
+  std::uint64_t seed;
+  std::int64_t tick_interval;
+  std::int64_t max_delay;
+  std::int64_t max_delay_pre_gst;
+  std::int64_t gst;
+  int n;
+  std::vector<std::pair<ProcessId, std::int64_t>> crashes;
+  std::int64_t horizon;
+  std::uint64_t want;
+};
+
+std::uint64_t event_grid_fingerprint(const EventGoldenCase& c) {
+  AsyncConfig config;
+  config.seed = c.seed;
+  config.tick_interval = c.tick_interval;
+  config.max_delay = c.max_delay;
+  config.max_delay_pre_gst = c.max_delay_pre_gst;
+  config.gst = c.gst;
+  std::vector<std::unique_ptr<AsyncProcess>> procs;
+  for (ProcessId p = 0; p < c.n; ++p) {
+    procs.push_back(std::make_unique<FloodMaxProcess>(p));
+  }
+  EventSimulator sim(config, std::move(procs));
+  for (const auto& [p, at] : c.crashes) sim.schedule_crash(p, at);
+  sim.run_until(c.horizon);
+
+  std::uint64_t fp = kFnvBasis;
+  for (ProcessId p = 0; p < c.n; ++p) {
+    fp = fnv(fp, sim.process(p).snapshot_state().to_string());
+  }
+  fp = fnv(fp, std::to_string(sim.messages_sent()));
+  fp = fnv(fp, std::to_string(sim.messages_delivered()));
+  for (const bool b : sim.crashed_by_now()) fp = fnv(fp, b ? "1" : "0");
+  return fp;
+}
+
+TEST(GoldenFingerprint, EventSimulatorGstCrashGrid) {
+  const std::vector<EventGoldenCase> cases = {
+      {"gst-early/crash-after/n4", 2, 5, 10, 80, 50, 4, {{1, 60}}, 300, 0x97f5ff523c18c5ea},
+      {"gst-late/no-crash/n5", 8, 7, 12, 150, 200, 5, {}, 350, 0x17743601e6dd7db2},
+      {"double-crash-straddling-gst/n6", 13, 6, 9, 100, 100, 6,
+       {{0, 30}, {4, 110}}, 320, 0xef4a830b0a0963aa},
+      {"crash-in-chaos/n4", 21, 9, 8, 200, 120, 4, {{2, 10}}, 400, 0xc54b538697584f25},
+      {"no-chaos/crash-mid/n3", 1, 4, 5, 5, 0, 3, {{1, 77}}, 250, 0xc4fb560897b9b139},
+  };
+  for (const auto& c : cases) {
+    const std::uint64_t got = event_grid_fingerprint(c);
+    EXPECT_EQ(got, c.want)
+        << c.name << " fingerprint 0x" << std::hex << got;
+  }
+}
+
 }  // namespace
 }  // namespace ftss

@@ -1,0 +1,189 @@
+// ProcessSet unit tests.
+//
+// The word-packed set underpins the simulator's hot loop (influence
+// closures, coterie intersection, suspect filtering), so its algebra,
+// iteration order and hashing are pinned here against a std::set reference
+// model — including the inline-words -> heap storage boundary at n=129,
+// which no simulator test reaches (grids stop at n=8).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/process_set.h"
+
+namespace ftss {
+namespace {
+
+ProcessSet make_set(int n, const std::vector<int>& members) {
+  ProcessSet s(n);
+  for (const int p : members) s.insert(p);
+  return s;
+}
+
+std::vector<int> to_vector(const ProcessSet& s) {
+  std::vector<int> out;
+  for (const int p : s) out.push_back(p);
+  return out;
+}
+
+TEST(ProcessSet, InsertEraseContains) {
+  ProcessSet s(10);
+  EXPECT_TRUE(s.empty());
+  s.insert(3);
+  s.insert(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(4));
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.count(), 1);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.universe(), 10);
+}
+
+// Union and intersection agree with the std::set reference model the class
+// replaced, across both storage layouts.
+TEST(ProcessSet, AlgebraMatchesReferenceModel) {
+  for (const int n : {7, 64, 65, 128, 129, 200}) {
+    std::set<int> ra, rb;
+    ProcessSet a(n), b(n);
+    for (int p = 0; p < n; p += 3) {
+      ra.insert(p);
+      a.insert(p);
+    }
+    for (int p = 1; p < n; p += 4) {
+      rb.insert(p);
+      b.insert(p);
+    }
+
+    ProcessSet u = a;
+    u |= b;
+    std::set<int> ru = ra;
+    ru.insert(rb.begin(), rb.end());
+    EXPECT_EQ(to_vector(u), std::vector<int>(ru.begin(), ru.end())) << n;
+
+    ProcessSet i = a;
+    i &= b;
+    std::vector<int> ri;
+    for (const int p : ra) {
+      if (rb.count(p)) ri.push_back(p);
+    }
+    EXPECT_EQ(to_vector(i), ri) << n;
+    EXPECT_EQ(u.count(), static_cast<int>(ru.size())) << n;
+  }
+}
+
+TEST(ProcessSet, CountMatchesPopcount) {
+  ProcessSet s(130);
+  int expected = 0;
+  for (int p = 0; p < 130; p += 7) {
+    s.insert(p);
+    ++expected;
+  }
+  EXPECT_EQ(s.count(), expected);
+  EXPECT_FALSE(s.empty());
+}
+
+// Iteration (range-for and for_each) visits members in ascending id order
+// regardless of insertion order — histories and traces depend on it.
+TEST(ProcessSet, IterationIsAscending) {
+  const ProcessSet s = make_set(150, {149, 0, 64, 63, 128, 65, 1});
+  const std::vector<int> want = {0, 1, 63, 64, 65, 128, 149};
+  EXPECT_EQ(to_vector(s), want);
+
+  std::vector<int> via_for_each;
+  s.for_each([&via_for_each](int p) { via_for_each.push_back(p); });
+  EXPECT_EQ(via_for_each, want);
+}
+
+TEST(ProcessSet, InsertAllAndFlipAllRespectTheUniverse) {
+  for (const int n : {1, 63, 64, 70, 128, 129}) {
+    ProcessSet s(n);
+    s.insert_all();
+    EXPECT_EQ(s.count(), n) << n;
+
+    s.flip_all();
+    EXPECT_TRUE(s.empty()) << n;
+
+    s.insert(0);
+    s.flip_all();  // complement: everything but 0
+    EXPECT_EQ(s.count(), n - 1) << n;
+    EXPECT_FALSE(s.contains(0)) << n;
+  }
+}
+
+// Equal content => equal hash, independent of how the set was built; the
+// universe size participates, so {0} in [0,3) and {0} in [0,4) differ.
+TEST(ProcessSet, HashIsStableAndContentOnly) {
+  const ProcessSet a = make_set(100, {5, 40, 99});
+  ProcessSet b(100);
+  b.insert(99);
+  b.insert(5);
+  b.insert(40);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+
+  ProcessSet c = b;
+  c.erase(40);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.hash(), c.hash());
+
+  EXPECT_NE(make_set(3, {0}).hash(), make_set(4, {0}).hash());
+
+  // flip_all/insert_all zero the tail bits beyond n, so a set reaching the
+  // same content through them hashes identically to one built by inserts.
+  ProcessSet flipped(70);
+  flipped.insert_all();
+  flipped.flip_all();
+  flipped.insert(69);
+  EXPECT_EQ(flipped.hash(), make_set(70, {69}).hash());
+}
+
+// n=128 is the last inline universe (2 words); n=129 allocates. Everything
+// observable must behave identically across the boundary.
+TEST(ProcessSet, InlineToHeapBoundary) {
+  ProcessSet inline_set(128);
+  ProcessSet heap_set(129);
+  for (const int p : {0, 63, 64, 127}) {
+    inline_set.insert(p);
+    heap_set.insert(p);
+  }
+  heap_set.insert(128);  // only representable in the heap layout
+  EXPECT_EQ(inline_set.count(), 4);
+  EXPECT_EQ(heap_set.count(), 5);
+  EXPECT_TRUE(heap_set.contains(128));
+  EXPECT_EQ(to_vector(heap_set), (std::vector<int>{0, 63, 64, 127, 128}));
+
+  // Copy construction and copy assignment across different word counts
+  // (the operator= reallocation path).
+  ProcessSet copy = heap_set;
+  EXPECT_EQ(copy, heap_set);
+  copy = inline_set;  // shrink: heap -> inline-sized content
+  EXPECT_EQ(copy, inline_set);
+  copy = heap_set;  // grow back
+  EXPECT_EQ(copy, heap_set);
+
+  // Copies are independent.
+  copy.erase(128);
+  EXPECT_TRUE(heap_set.contains(128));
+
+  // Move leaves a usable empty shell and preserves content.
+  ProcessSet moved = std::move(copy);
+  EXPECT_EQ(moved.count(), 4);
+  EXPECT_EQ(moved.universe(), 129);
+}
+
+TEST(ProcessSet, BoolsRoundTrip) {
+  const ProcessSet s = make_set(129, {0, 64, 128});
+  const std::vector<bool> bools = s.to_bools();
+  EXPECT_EQ(static_cast<int>(bools.size()), 129);
+  EXPECT_TRUE(bools[0] && bools[64] && bools[128]);
+  EXPECT_EQ(ProcessSet::of_bools(bools), s);
+}
+
+}  // namespace
+}  // namespace ftss

@@ -1,6 +1,7 @@
 // Shared helpers for the ftss test suite.
 #pragma once
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -8,6 +9,17 @@
 #include "sim/simulator.h"
 
 namespace ftss::testing {
+
+// Multiplier for randomized trial counts.  The nightly CI job exports
+// FTSS_TRIALS_SCALE=10 to run the fuzz/conform sweeps at 10x depth; the
+// default interactive/CI depth is 1.  Tests that pin sweep fingerprints
+// must only assert them when the scale is 1.
+inline int trial_scale() {
+  const char* env = std::getenv("FTSS_TRIALS_SCALE");
+  if (env == nullptr) return 1;
+  const int scale = std::atoi(env);
+  return scale >= 1 ? scale : 1;
+}
 
 // n RoundAgreementProcess instances (Figure 1).
 inline std::vector<std::unique_ptr<SyncProcess>> round_agreement_system(int n) {
