@@ -1,0 +1,79 @@
+// libFuzzer harness for the binary wire codec.
+//
+// The decoder sits on the transport leg's adversary-facing surface: every
+// byte a process reads off a socket goes through decode_frame /
+// decode_value, and the corruption hooks deliberately feed it mangled
+// frames.  Properties:
+//   - arbitrary bytes never crash either decoder (ASan/UBSan catch the
+//     rest); failures are typed WireErrors, never aborts;
+//   - anything decode_value accepts re-encodes to a canonical form that
+//     decodes back equal (a fixpoint, like the JSON parser's harness);
+//   - a *valid* frame mutated by the fuzzer is either rejected with a typed
+//     error or decodes to a well-formed Value — to reach the deep decoder
+//     states behind the content hash, the second half of each input is also
+//     interpreted as a body for a freshly encoded frame whose header and
+//     hash are then legitimate.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/value.h"
+#include "wire/codec.h"
+#include "wire/frame.h"
+
+namespace {
+
+void check_value_fixpoint(const std::uint8_t* data, std::size_t size) {
+  const ftss::wire::ValueDecodeResult r = ftss::wire::decode_value(data, size);
+  if (r.error != ftss::wire::WireError::kOk) return;
+
+  std::vector<std::uint8_t> canonical;
+  ftss::wire::encode_value(r.value, canonical);
+  const ftss::wire::ValueDecodeResult back =
+      ftss::wire::decode_value(canonical.data(), canonical.size());
+  if (back.error != ftss::wire::WireError::kOk) __builtin_trap();
+  if (back.consumed != canonical.size()) __builtin_trap();
+  if (!(back.value == r.value)) __builtin_trap();
+  if (back.value.hash() != r.value.hash()) __builtin_trap();
+}
+
+void check_frame_decode(const std::uint8_t* data, std::size_t size) {
+  const ftss::wire::FrameDecodeResult r = ftss::wire::decode_frame(data, size);
+  if (r.error != ftss::wire::WireError::kOk) return;
+  // An accepted frame is internally consistent: re-encoding its body under
+  // its type reproduces the input bytes it consumed.
+  std::vector<std::uint8_t> again;
+  ftss::wire::encode_frame(r.frame.type, r.frame.body, again);
+  if (again.size() != r.consumed) __builtin_trap();
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    if (again[i] != data[i]) __builtin_trap();
+  }
+}
+
+// Wrap the tail of the input as the body of a well-hashed frame, so the
+// fuzzer exercises the body decoder *past* the integrity check instead of
+// almost always dying on kHashMismatch.
+void check_rehashed_frame(const std::uint8_t* data, std::size_t size) {
+  const ftss::wire::ValueDecodeResult body =
+      ftss::wire::decode_value(data, size);
+  if (body.error != ftss::wire::WireError::kOk) return;
+  std::vector<std::uint8_t> frame;
+  ftss::wire::encode_frame(ftss::wire::FrameType::kMessage, body.value, frame);
+  const ftss::wire::FrameDecodeResult r =
+      ftss::wire::decode_frame_exact(frame.data(), frame.size());
+  if (r.error != ftss::wire::WireError::kOk) __builtin_trap();
+  if (!(r.frame.body == body.value)) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  check_value_fixpoint(data, size);
+  check_frame_decode(data, size);
+  if (size > 1) {
+    // Split: first byte steers, the rest feeds the rehashed-frame path.
+    check_rehashed_frame(data + 1, size - 1);
+  }
+  return 0;
+}

@@ -137,6 +137,12 @@ void audit_history(const History& h, const TrialPlan& plan,
               "in-flight flush inside the run: " + os.str());
           return;
         }
+      } else if (sr.frame_corrupted) {
+        // Frame corruption only exists on the serialized transport leg; a
+        // sync-simulator history claiming it is lying about the model.
+        add(out, "audit-omission",
+            "frame corruption in an in-memory history: " + os.str());
+        return;
       } else if (sr.delivered) {
         if (sr.sender != sr.dest &&
             idx.must_drop(idx.send_specs[sr.sender], sr.sent_round, sr.dest)) {

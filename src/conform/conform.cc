@@ -49,6 +49,7 @@ std::set<std::string> divergence_kinds(const std::vector<Divergence>& ds) {
 // Re-run one named oracle on a candidate plan (the shrinker's probe).
 OracleResult rerun_oracle(const std::string& oracle, const TrialPlan& plan) {
   if (oracle == "lockstep") return check_lockstep(plan);
+  if (oracle == "transport") return check_transport(plan);
   if (oracle == "extension") return check_extension(plan, plan.rounds / 2);
   if (oracle == "permutation") {
     return check_permutation(normalize_for_permutation(plan),
@@ -75,6 +76,7 @@ TrialPlan normalize_for_permutation(const TrialPlan& plan) {
 std::vector<OracleResult> run_conformance(const TrialPlan& plan) {
   std::vector<OracleResult> out;
   out.push_back(check_lockstep(plan));
+  out.push_back(check_transport(plan));
   out.push_back(check_extension(plan, plan.rounds / 2));
   out.push_back(
       check_permutation(normalize_for_permutation(plan), rotation(plan.n)));

@@ -36,8 +36,9 @@ struct ConformConfig {
 TrialPlan normalize_for_permutation(const TrialPlan& plan);
 
 // The standard oracle battery for one plan: lockstep differential,
-// run-extension, permutation (on the normalized plan, under a rotation),
-// tracing transparency, COW transparency — in that order.
+// transport differential (sockets + wire codec), run-extension, permutation
+// (on the normalized plan, under a rotation), tracing transparency, COW
+// transparency — in that order.
 std::vector<OracleResult> run_conformance(const TrialPlan& plan);
 
 struct OracleTally {

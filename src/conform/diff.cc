@@ -4,6 +4,8 @@
 #include <sstream>
 #include <tuple>
 
+#include "sim/fate_schedule.h"
+
 namespace ftss {
 
 namespace {
@@ -17,26 +19,6 @@ std::uint64_t fnv_str(std::uint64_t h, const std::string& s) {
 }
 
 constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
-
-int fate_code(const SendRecord& s) {
-  if (s.delivered) return 0;
-  if (s.dropped_by_sender) return 1;
-  if (s.dropped_by_receiver) return 2;
-  if (s.dest_crashed) return 3;
-  if (s.lost_in_flight) return 4;
-  return 5;  // no fate recorded at all (itself a reportable oddity)
-}
-
-const char* fate_name(int code) {
-  switch (code) {
-    case 0: return "delivered";
-    case 1: return "dropped-by-sender";
-    case 2: return "dropped-by-receiver";
-    case 3: return "dest-crashed";
-    case 4: return "lost-in-flight";
-    default: return "unresolved";
-  }
-}
 
 // Canonical per-round ordering: content-identifying fields first, payload
 // hash as the final tie-break so the order is deterministic without deep

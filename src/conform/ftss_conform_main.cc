@@ -3,6 +3,8 @@
 //   ftss_conform --trials 240 --seed 42     run the standard sweep
 //   ftss_conform --replay plan.json         run every oracle on one plan
 //   ftss_conform --lockstep plan.json       print both legs' fingerprints
+//   ftss_conform --transport plan.json      run the socket transport leg,
+//                                           print fingerprints + wire stats
 //
 // Exit code: 0 iff no oracle diverged on any trial.
 #include <cstdint>
@@ -27,7 +29,9 @@ void usage() {
                "  --max-failures K divergent plans to keep (default 3)\n"
                "  --replay FILE    run the oracle battery on one plan JSON\n"
                "  --lockstep FILE  run only the differential leg, print both\n"
-               "                   history fingerprints\n";
+               "                   history fingerprints\n"
+               "  --transport FILE run only the socket transport leg, print\n"
+               "                   fingerprints and wire traffic stats\n";
 }
 
 std::optional<ftss::TrialPlan> load_plan(const std::string& path) {
@@ -84,12 +88,42 @@ int lockstep(const std::string& path) {
   return result.divergences.empty() ? 0 : 1;
 }
 
+int transport(const std::string& path) {
+  const auto plan = load_plan(path);
+  if (!plan) return 2;
+  const ftss::TransportResult result = ftss::run_transport_trial(*plan);
+  if (!result.supported) {
+    std::cout << "unsupported: " << result.unsupported_reason << "\n";
+    return 2;
+  }
+  std::cout << std::hex << std::setfill('0');
+  std::cout << "sync      fingerprint: 0x" << std::setw(16)
+            << ftss::history_fingerprint(result.sync_history) << "\n";
+  std::cout << "transport fingerprint: 0x" << std::setw(16)
+            << ftss::history_fingerprint(result.transport_history) << "\n";
+  std::cout << std::dec << std::setfill(' ');
+  std::cout << "wire: " << result.frames_sent << " frames, "
+            << result.bytes_sent << " bytes\n";
+  bool diverged = false;
+  for (const ftss::TransportNote& n : result.notes) {
+    std::cout << n.kind << "@" << n.round << ": " << n.detail << "\n";
+    diverged = true;
+  }
+  for (const ftss::Divergence& d : ftss::diff_histories(
+           result.sync_history, result.transport_history)) {
+    std::cout << ftss::describe(d) << "\n";
+    diverged = true;
+  }
+  return diverged ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ftss::ConformConfig config;
   std::string replay_path;
   std::string lockstep_path;
+  std::string transport_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,6 +148,8 @@ int main(int argc, char** argv) {
       replay_path = next();
     } else if (arg == "--lockstep") {
       lockstep_path = next();
+    } else if (arg == "--transport") {
+      transport_path = next();
     } else {
       usage();
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -122,6 +158,7 @@ int main(int argc, char** argv) {
 
   if (!replay_path.empty()) return replay(replay_path);
   if (!lockstep_path.empty()) return lockstep(lockstep_path);
+  if (!transport_path.empty()) return transport(transport_path);
 
   const ftss::ConformReport report = ftss::conform_sweep(config);
   std::cout << report.summary();

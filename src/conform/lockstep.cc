@@ -12,48 +12,12 @@
 #include "check/trial_build.h"
 #include "obs/metrics.h"
 #include "sim/causality.h"
+#include "sim/fate_schedule.h"
 #include "sim/simulator.h"
 
 namespace ftss {
 
 namespace {
-
-// Fate codes shared with diff.cc's canonical ordering.
-constexpr int kDelivered = 0;
-constexpr int kDroppedBySender = 1;
-constexpr int kDroppedByReceiver = 2;
-constexpr int kDestCrashed = 3;
-constexpr int kLostInFlight = 4;
-
-int fate_of(const SendRecord& s) {
-  if (s.delivered) return kDelivered;
-  if (s.dropped_by_sender) return kDroppedBySender;
-  if (s.dropped_by_receiver) return kDroppedByReceiver;
-  if (s.dest_crashed) return kDestCrashed;
-  if (s.lost_in_flight) return kLostInFlight;
-  return -1;
-}
-
-struct Fate {
-  int code = -1;
-  Round delivery_round = 0;
-
-  friend bool operator==(const Fate& a, const Fate& b) {
-    return a.code == b.code && a.delivery_round == b.delivery_round;
-  }
-};
-
-// Fates for one (sent_round, sender, dest) key, consumed FIFO.  Send order
-// within a round is identical in both legs (process-id order, then the
-// process's own deterministic emission order), so FIFO attribution is exact
-// whenever the fates under one key agree — and extract_schedule rejects the
-// plan as ambiguous when they do not.
-struct FateQueue {
-  std::vector<Fate> fates;
-  std::size_t next = 0;
-};
-
-using ScheduleKey = std::tuple<Round, ProcessId, ProcessId>;
 
 // A message the event leg has handed to the network: its resolved fate plus
 // everything needed to reconstruct the observer record at delivery time.
@@ -62,7 +26,7 @@ struct Pending {
   ProcessId dest = -1;
   Round sent_round = 0;
   Round delivery_round = 0;
-  int fate = kDelivered;
+  int fate = kFateDelivered;
   Value payload;
   ProcessSet influence;  // sender's happened-before snapshot at send time
   bool resolved = false;
@@ -180,7 +144,7 @@ class LockstepDriver {
 
   std::unique_ptr<SyncSimulator> sync_;
   std::vector<LockstepAdapter*> adapters_;
-  std::map<ScheduleKey, FateQueue> fates_;
+  std::map<FateScheduleKey, FateQueue> fates_;
   std::vector<Pending> pendings_;
   History h2_;
   CausalityTracker causality_;
@@ -201,29 +165,9 @@ void LockstepAdapter::on_message(AsyncContext& ctx, ProcessId from,
 }
 
 bool LockstepDriver::extract_schedule(const History& h1) {
-  for (const RoundRecord& rec : h1.rounds) {
-    for (const SendRecord& s : rec.sends) {
-      const int code = fate_of(s);
-      if (code < 0) {
-        return unsupported("sync history contains a send with no fate");
-      }
-      fates_[ScheduleKey{s.sent_round, s.sender, s.dest}].fates.push_back(
-          Fate{code, s.delivery_round});
-    }
-  }
-  // Several same-round sends to one destination can only be replayed when
-  // their fates agree (FIFO attribution is then exact regardless of pairing).
-  for (const auto& [key, fq] : fates_) {
-    for (std::size_t i = 1; i < fq.fates.size(); ++i) {
-      if (!(fq.fates[i] == fq.fates[0])) {
-        std::ostringstream os;
-        os << "ambiguous schedule: p" << std::get<1>(key) << "->p"
-           << std::get<2>(key) << " sent " << fq.fates.size()
-           << " messages with differing fates in round " << std::get<0>(key);
-        return unsupported(os.str());
-      }
-    }
-  }
+  FateSchedule schedule = extract_fate_schedule(h1);
+  if (!schedule.ok) return unsupported("sync " + schedule.error);
+  fates_ = std::move(schedule.fates);
   return true;
 }
 
@@ -285,7 +229,7 @@ void LockstepDriver::on_round_tick(ProcessId p, AsyncContext& ctx) {
 }
 
 void LockstepDriver::handle_send(Round r, Message&& m, AsyncContext& ctx) {
-  const auto it = fates_.find(ScheduleKey{r, m.sender, m.dest});
+  const auto it = fates_.find(FateScheduleKey{r, m.sender, m.dest});
   if (it == fates_.end() || it->second.next >= it->second.fates.size()) {
     std::ostringstream os;
     os << "event leg sent an unscheduled message p" << m.sender << "->p"
@@ -293,9 +237,9 @@ void LockstepDriver::handle_send(Round r, Message&& m, AsyncContext& ctx) {
     report("schedule", r, os.str());
     return;
   }
-  const Fate fate = it->second.fates[it->second.next++];
+  const ResolvedFate fate = it->second.fates[it->second.next++];
 
-  if (fate.code == kDroppedBySender) {
+  if (fate.code == kFateDroppedBySender) {
     // Never enters the network; the observer records the drop at send time.
     SendRecord sr;
     sr.sender = m.sender;
@@ -356,12 +300,12 @@ void LockstepDriver::on_wire_message(ProcessId dest, ProcessId from,
     report("schedule", r, os.str());
     return;
   }
-  if (pend.fate == kDestCrashed || pend.fate == kLostInFlight) {
+  if (pend.fate == kFateDestCrashed || pend.fate == kFateLostInFlight) {
     // The event simulator should have withheld this dispatch on its own
     // (crash gating / run horizon); reaching the adapter is a divergence.
     std::ostringstream os;
     os << "p" << from << "->p" << dest << " dispatched despite "
-       << (pend.fate == kDestCrashed ? "a crashed destination"
+       << (pend.fate == kFateDestCrashed ? "a crashed destination"
                                      : "being lost in flight");
     report("schedule", r, os.str());
     return;
@@ -373,7 +317,7 @@ void LockstepDriver::on_wire_message(ProcessId dest, ProcessId from,
   sr.sent_round = pend.sent_round;
   sr.delivery_round = r;
   sr.payload = wire.at("b");
-  if (pend.fate == kDroppedByReceiver) {
+  if (pend.fate == kFateDroppedByReceiver) {
     sr.dropped_by_receiver = true;
     mark_faulty(dest);
   } else {
@@ -399,7 +343,7 @@ void LockstepDriver::finalize_round(Round r, const EventSimulator& sim) {
     sr.delivery_round = r;
     sr.payload = pend.payload;
     sr.dest_crashed = true;
-    if (pend.fate != kDestCrashed || !sim.crashed(pend.dest)) {
+    if (pend.fate != kFateDestCrashed || !sim.crashed(pend.dest)) {
       std::ostringstream os;
       os << "p" << pend.sender << "->p" << pend.dest
          << " vanished in the event leg (resolved fate " << pend.fate

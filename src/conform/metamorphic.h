@@ -16,6 +16,9 @@
 //                  nothing — i.e. no component mutates a shared Value.
 //   lockstep       the cross-simulator differential leg (conform/lockstep.h)
 //                  exposed under the same result shape.
+//   transport      the socket transport leg (net/transport.h): the plan
+//                  re-executed over encoded frames on loopback sockets, one
+//                  OS thread per process, diffed against the sync history.
 //
 // Every oracle carries a deliberate-breakage hook so tests can prove it is
 // able to fail (mutation testing); see each Options struct.
@@ -28,12 +31,13 @@
 #include "check/plan.h"
 #include "conform/diff.h"
 #include "conform/lockstep.h"
+#include "net/transport.h"
 
 namespace ftss {
 
 struct OracleResult {
   std::string oracle;  // "extension" | "permutation" | "tracing" | "cow" |
-                       // "lockstep"
+                       // "lockstep" | "transport"
   // False when the transformation is not meaning-preserving for this plan
   // (see skip_reason); such results are skipped, not failed.
   bool applicable = true;
@@ -89,5 +93,12 @@ OracleResult check_cow_transparency(const TrialPlan& plan,
 
 OracleResult check_lockstep(const TrialPlan& plan,
                             const LockstepOptions& options = {});
+
+// The transport differential leg.  Options carry the corruption hooks
+// (frame bit flips, truncation, duplication, loss, delay, payload
+// mutation); with any hook armed the oracle is expected to fail — that is
+// the mutation test proving the differ sees through the wire.
+OracleResult check_transport(const TrialPlan& plan,
+                             const TransportOptions& options = {});
 
 }  // namespace ftss

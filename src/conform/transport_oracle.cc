@@ -1,0 +1,33 @@
+// The transport differential oracle: net/transport.h's socket leg exposed
+// under the conformance result shape.  Lives here (not in net/) so the net
+// library stays free of conform dependencies: net returns raw histories and
+// typed notes, this file turns them into Divergences with the shared differ.
+#include "conform/metamorphic.h"
+
+#include "net/transport.h"
+
+namespace ftss {
+
+OracleResult check_transport(const TrialPlan& plan,
+                             const TransportOptions& options) {
+  OracleResult out;
+  out.oracle = "transport";
+
+  TransportResult result = run_transport_trial(plan, options);
+  if (!result.supported) {
+    out.applicable = false;
+    out.skip_reason = result.unsupported_reason;
+    return out;
+  }
+  for (TransportNote& n : result.notes) {
+    out.divergences.push_back(
+        Divergence{std::move(n.kind), n.round, std::move(n.detail)});
+  }
+  for (Divergence& d :
+       diff_histories(result.sync_history, result.transport_history)) {
+    out.divergences.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace ftss

@@ -1,0 +1,841 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "check/trial_build.h"
+#include "net/channel.h"
+#include "obs/metrics.h"
+#include "sim/causality.h"
+#include "sim/fate_schedule.h"
+#include "sim/simulator.h"
+#include "wire/frame.h"
+
+namespace ftss {
+
+namespace {
+
+using net::Channel;
+using wire::FrameType;
+using wire::WireError;
+
+// --- Process side (one OS thread per process) ----------------------------
+
+class ThreadOutbox : public Outbox {
+ public:
+  ThreadOutbox(ProcessId self, int n, std::vector<Message>* sink)
+      : self_(self), n_(n), sink_(sink) {}
+
+  void send(ProcessId to, Value payload) override {
+    if (to < 0 || to >= n_) {
+      throw std::out_of_range("Outbox::send: bad destination");
+    }
+    sink_->push_back(Message{self_, to, std::move(payload)});
+  }
+
+  void broadcast(Value payload) override {
+    for (ProcessId q = 0; q < n_; ++q) {
+      sink_->push_back(Message{self_, q, payload});
+    }
+  }
+
+  int process_count() const override { return n_; }
+
+ private:
+  ProcessId self_;
+  int n_;
+  std::vector<Message>* sink_;
+};
+
+Value state_report(const SyncProcess& proc, Round r, bool with_round) {
+  Value v;
+  if (with_round) v["r"] = Value(r);
+  v["state"] = proc.snapshot_state();
+  if (const auto c = proc.round_counter()) v["clock"] = Value(*c);
+  v["halted"] = Value(proc.halted());
+  if (const ProcessSet* s = proc.suspect_set()) {
+    Value::Array ids;
+    for (ProcessId q : *s) ids.push_back(Value(q));
+    v["suspects"] = Value(std::move(ids));
+  }
+  return v;
+}
+
+// The entire process-side half of the session protocol.  Everything the
+// process learns or reports crosses the channel as encoded frames; its only
+// shared memory with the hub is the SyncProcess object it owns for the
+// duration (handed over before the thread starts, joined before reuse).
+void process_main(Channel ch, SyncProcess* proc, std::string* error) {
+  int n = 0;
+  ProcessId self = -1;
+  bool started = false;
+  std::vector<Message> inbox;
+  Value::Array ok;
+  Value::Array bad;  // [id, wire error code] pairs
+
+  const auto fail = [&](const std::string& why) {
+    *error = why;
+    ch.close_fd();
+  };
+
+  for (;;) {
+    Channel::RecvResult r = ch.recv_frame();
+    if (r.eof) return;  // hub hung up: crash shutdown
+    if (r.error != WireError::kOk) {
+      return fail(std::string("stream decode: ") + wire_error_name(r.error));
+    }
+    const Value& body = r.frame.body;
+    switch (r.frame.type) {
+      case FrameType::kInit: {
+        n = static_cast<int>(body.at("n").int_or(0));
+        self = static_cast<ProcessId>(body.at("self").int_or(-1));
+        if (n < 1 || self < 0 || self >= n) return fail("init: bad n/self");
+        if (body.contains("corrupt")) {
+          for (const Value& state : body.at("corrupt").as_array()) {
+            proc->restore_state(state);
+          }
+        }
+        break;
+      }
+      case FrameType::kRoundBegin: {
+        const Round round = body.at("r").int_or(0);
+        // The begin of round r first closes round r-1: consume the buffered
+        // deliveries, sorted by sender as the sync inbox is.
+        if (started && !proc->halted()) {
+          std::stable_sort(inbox.begin(), inbox.end(),
+                           [](const Message& x, const Message& y) {
+                             return x.sender < y.sender;
+                           });
+          proc->end_round(inbox);
+        }
+        inbox.clear();
+        started = true;
+        if (!ch.send_frame(FrameType::kSnapshot,
+                           state_report(*proc, round, true))) {
+          return fail("send snapshot");
+        }
+        std::int64_t count = 0;
+        if (!proc->halted()) {
+          std::vector<Message> outgoing;
+          ThreadOutbox out(self, n, &outgoing);
+          proc->begin_round(out);
+          for (Message& m : outgoing) {
+            Value mb;
+            mb["s"] = Value(self);
+            mb["d"] = Value(m.dest);
+            mb["r"] = Value(round);
+            mb["b"] = std::move(m.payload);
+            if (!ch.send_frame(FrameType::kMessage, mb)) {
+              return fail("send message");
+            }
+            ++count;
+          }
+        }
+        Value done;
+        done["r"] = Value(round);
+        done["count"] = Value(count);
+        if (!ch.send_frame(FrameType::kSendDone, done)) {
+          return fail("send done");
+        }
+        break;
+      }
+      case FrameType::kDeliver: {
+        const std::int64_t id = body.at("id").int_or(-1);
+        const std::string& bytes = body.at("f").as_string();
+        const wire::FrameDecodeResult inner = wire::decode_frame_exact(
+            reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+        WireError reject = inner.error;
+        if (reject == WireError::kOk &&
+            (inner.frame.type != FrameType::kMessage ||
+             inner.frame.body.at("d").int_or(-1) != self ||
+             inner.frame.body.at("s").int_or(-1) < 0 ||
+             inner.frame.body.at("s").int_or(-1) >= n)) {
+          // Structurally valid but not a message addressed to us.
+          reject = WireError::kBadFrameType;
+        }
+        if (reject != WireError::kOk) {
+          bad.push_back(Value::array(
+              {Value(id), Value(static_cast<std::int64_t>(reject))}));
+        } else {
+          inbox.push_back(
+              Message{static_cast<ProcessId>(inner.frame.body.at("s").as_int()),
+                      self, inner.frame.body.at("b")});
+          ok.push_back(Value(id));
+        }
+        break;
+      }
+      case FrameType::kRoundEnd: {
+        Value status;
+        status["r"] = body.at("r");
+        status["ok"] = Value(std::move(ok));
+        status["bad"] = Value(std::move(bad));
+        ok = Value::Array();
+        bad = Value::Array();
+        if (!ch.send_frame(FrameType::kInboxStatus, status)) {
+          return fail("send inbox status");
+        }
+        break;
+      }
+      case FrameType::kShutdown: {
+        if (body.at("end").int_or(0) == 1) {
+          // Books-closing end_round for the final round's deliveries, then
+          // the final survivor report.
+          if (started && !proc->halted()) {
+            std::stable_sort(inbox.begin(), inbox.end(),
+                             [](const Message& x, const Message& y) {
+                               return x.sender < y.sender;
+                             });
+            proc->end_round(inbox);
+          }
+          if (!ch.send_frame(FrameType::kFinal,
+                             state_report(*proc, 0, false))) {
+            return fail("send final");
+          }
+        }
+        return;
+      }
+      default:
+        return fail("unexpected frame type from hub");
+    }
+  }
+}
+
+// --- Hub side ------------------------------------------------------------
+
+// A message the transport leg has accepted from a sender: its resolved fate
+// plus everything needed to reconstruct the observer record.
+struct Pending {
+  ProcessId sender = -1;
+  ProcessId dest = -1;
+  Round sent_round = 0;
+  Round delivery_round = 0;
+  int fate = kFateDelivered;
+  Value payload;
+  ProcessSet influence;
+  bool resolved = false;
+};
+
+struct ProcSlot {
+  Channel ch;  // hub end; the process end moves into the thread
+  std::unique_ptr<SyncProcess> proc;
+  std::thread thread;
+  std::string error;
+  bool shutdown_sent = false;
+};
+
+class TransportDriver {
+ public:
+  TransportDriver(const TrialPlan& plan, const TransportOptions& options,
+                  TransportResult* result)
+      : plan_(plan),
+        options_(options),
+        result_(result),
+        n_(plan.n),
+        final_(plan.rounds),
+        causality_(plan.n),
+        fault_manifested_(plan.n, false),
+        crash_round_(plan.n) {}
+
+  void run();
+
+ private:
+  static constexpr int kMaxReports = 16;
+
+  bool unsupported(std::string reason) {
+    result_->supported = false;
+    result_->unsupported_reason = std::move(reason);
+    return false;
+  }
+
+  void note(const char* kind, Round r, std::string detail) {
+    if (static_cast<int>(result_->notes.size()) < kMaxReports) {
+      result_->notes.push_back(TransportNote{kind, r, std::move(detail)});
+    }
+  }
+
+  void mark_faulty(ProcessId p) { fault_manifested_[p] = true; }
+
+  RoundRecord& rec_of(Round r) { return h2_.rounds.at(r - 1); }
+
+  bool crashed_by(ProcessId p, Round r) const {
+    return crash_round_[p] && r >= *crash_round_[p];
+  }
+
+  bool send_shutdown(ProcessId p, bool end_of_run);
+  bool run_rounds();
+  void begin_round_record(Round r);
+  bool read_round_reports(Round r);
+  void handle_send(Round r, ProcessId sender, const Value& mb);
+  bool ship_deliveries(Round r, std::vector<std::int64_t>& counts);
+  bool read_inbox_statuses(Round r);
+  void resolve_ok(ProcessId dest, Round r, std::int64_t id);
+  void resolve_bad(ProcessId dest, Round r, std::int64_t id,
+                   std::int64_t code);
+  void finalize_round(Round r);
+  bool close_books();
+  void flush_lost();
+  void finish();
+  void teardown();
+
+  const TrialPlan& plan_;
+  const TransportOptions options_;
+  TransportResult* result_;
+  const int n_;
+  const Round final_;
+
+  std::unique_ptr<SyncSimulator> sync_;
+  std::vector<ProcSlot> slots_;
+  std::map<FateScheduleKey, FateQueue> fates_;
+  std::vector<Pending> pendings_;
+  History h2_;
+  CausalityTracker causality_;
+  std::vector<bool> fault_manifested_;
+  std::vector<std::optional<Round>> crash_round_;
+  std::vector<Value> final_reports_;  // per-survivor kFinal bodies
+  bool any_suspects_ = false;
+  int delivery_attempts_ = 0;
+};
+
+bool TransportDriver::send_shutdown(ProcessId p, bool end_of_run) {
+  ProcSlot& slot = slots_[p];
+  if (slot.shutdown_sent) return true;
+  slot.shutdown_sent = true;
+  Value body;
+  body["end"] = Value(end_of_run ? 1 : 0);
+  return slot.ch.send_frame(FrameType::kShutdown, body);
+}
+
+void TransportDriver::begin_round_record(Round r) {
+  RoundRecord rec;
+  rec.round = r;
+  rec.alive.assign(n_, false);
+  rec.halted.resize(n_);
+  rec.state.resize(n_);
+  rec.clock.resize(n_);
+  if (any_suspects_) rec.suspects.resize(n_);
+  h2_.rounds.push_back(std::move(rec));
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (crashed_by(p, r)) mark_faulty(p);
+  }
+}
+
+void TransportDriver::handle_send(Round r, ProcessId sender, const Value& mb) {
+  const ProcessId dest = static_cast<ProcessId>(mb.at("d").int_or(-1));
+  if (mb.at("s").int_or(-1) != sender || mb.at("r").int_or(0) != r ||
+      dest < 0 || dest >= n_) {
+    std::ostringstream os;
+    os << "p" << sender << " emitted a malformed send record";
+    note("schedule", r, os.str());
+    return;
+  }
+  const auto it = fates_.find(FateScheduleKey{r, sender, dest});
+  if (it == fates_.end() || it->second.next >= it->second.fates.size()) {
+    std::ostringstream os;
+    os << "transport leg sent an unscheduled message p" << sender << "->p"
+       << dest;
+    note("schedule", r, os.str());
+    return;
+  }
+  const ResolvedFate fate = it->second.fates[it->second.next++];
+
+  if (fate.code == kFateDroppedBySender) {
+    SendRecord sr;
+    sr.sender = sender;
+    sr.dest = dest;
+    sr.sent_round = r;
+    sr.delivery_round = r;
+    sr.payload = mb.at("b");
+    sr.dropped_by_sender = true;
+    rec_of(r).sends.push_back(std::move(sr));
+    mark_faulty(sender);
+    return;
+  }
+
+  Pending pend;
+  pend.sender = sender;
+  pend.dest = dest;
+  pend.sent_round = r;
+  pend.delivery_round = fate.delivery_round;
+  pend.fate = fate.code;
+  pend.payload = mb.at("b");
+  pend.influence = causality_.send_snapshot(sender);
+  pendings_.push_back(std::move(pend));
+}
+
+bool TransportDriver::read_round_reports(Round r) {
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (crashed_by(p, r)) continue;
+    ProcSlot& slot = slots_[p];
+    Channel::RecvResult snap = slot.ch.recv_frame();
+    if (snap.error != WireError::kOk || snap.eof ||
+        snap.frame.type != FrameType::kSnapshot ||
+        snap.frame.body.at("r").int_or(0) != r) {
+      return unsupported("p" + std::to_string(p) +
+                         ": expected snapshot for round " + std::to_string(r));
+    }
+    RoundRecord& rec = rec_of(r);
+    const Value& b = snap.frame.body;
+    rec.alive[p] = true;
+    rec.halted[p] = b.at("halted").bool_or(false);
+    rec.state[p] = b.at("state");
+    if (b.contains("clock")) rec.clock[p] = b.at("clock").int_or(0);
+    if (any_suspects_ && b.contains("suspects")) {
+      for (const Value& q : b.at("suspects").as_array()) {
+        rec.suspects[p].push_back(static_cast<ProcessId>(q.int_or(-1)));
+      }
+    }
+    for (;;) {
+      Channel::RecvResult m = slot.ch.recv_frame();
+      if (m.error != WireError::kOk || m.eof) {
+        return unsupported("p" + std::to_string(p) + ": stream broke in round " +
+                           std::to_string(r));
+      }
+      if (m.frame.type == FrameType::kSendDone) break;
+      if (m.frame.type != FrameType::kMessage) {
+        return unsupported("p" + std::to_string(p) +
+                           ": unexpected frame in send phase");
+      }
+      handle_send(r, p, m.frame.body);
+    }
+  }
+  return true;
+}
+
+bool TransportDriver::ship_deliveries(Round r,
+                                      std::vector<std::int64_t>& counts) {
+  for (std::size_t i = 0; i < pendings_.size(); ++i) {
+    Pending& pend = pendings_[i];
+    if (pend.resolved || pend.delivery_round != r) continue;
+
+    if (pend.fate == kFateDroppedByReceiver) {
+      // The adversary's receive omission: the hub (playing the network's
+      // faulty-receiver half) eats the message before it crosses the wire.
+      pend.resolved = true;
+      SendRecord sr;
+      sr.sender = pend.sender;
+      sr.dest = pend.dest;
+      sr.sent_round = pend.sent_round;
+      sr.delivery_round = r;
+      sr.payload = pend.payload;
+      sr.dropped_by_receiver = true;
+      rec_of(r).sends.push_back(std::move(sr));
+      mark_faulty(pend.dest);
+      continue;
+    }
+    if (pend.fate != kFateDelivered) continue;  // dest-crashed: finalize_round
+    if (crashed_by(pend.dest, r)) continue;     // mismatch flagged there too
+
+    const int attempt = delivery_attempts_++;
+    if (attempt == options_.drop_index) continue;  // CORRUPTION HOOK: loss
+    if (attempt == options_.delay_index) {         // CORRUPTION HOOK: delay
+      pend.delivery_round = r + 1;
+      continue;
+    }
+
+    if (attempt == options_.mutate_payload_index) {
+      // CORRUPTION HOOK: payload swap.  Overwrites the pending payload so
+      // the history records what actually crossed the wire — the typed
+      // differ then sees the disagreement with the sync leg's payload.
+      pend.payload = Value("wire-mutated");
+    }
+    Value inner;
+    inner["s"] = Value(pend.sender);
+    inner["d"] = Value(pend.dest);
+    inner["r"] = Value(pend.sent_round);
+    inner["b"] = pend.payload;
+    std::vector<std::uint8_t> bytes;
+    wire::encode_frame(FrameType::kMessage, inner, bytes);
+    if (attempt == options_.flip_bit_index && !bytes.empty()) {
+      // CORRUPTION HOOK: single bit flip anywhere in the inner frame.
+      const std::size_t bit =
+          static_cast<std::size_t>(options_.flip_bit) % (bytes.size() * 8);
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    if (attempt == options_.truncate_index) {
+      bytes.resize(bytes.size() / 2);  // CORRUPTION HOOK: truncation
+    }
+
+    Value env;
+    env["id"] = Value(static_cast<std::int64_t>(i));
+    env["f"] = Value(std::string(reinterpret_cast<const char*>(bytes.data()),
+                                 bytes.size()));
+    std::vector<std::uint8_t> frame;
+    wire::encode_frame(FrameType::kDeliver, env, frame);
+    if (!slots_[pend.dest].ch.send_bytes(frame)) {
+      return unsupported("p" + std::to_string(pend.dest) +
+                         ": delivery write failed");
+    }
+    ++counts[pend.dest];
+    if (attempt == options_.duplicate_index) {
+      // CORRUPTION HOOK: duplicated frame, byte-identical envelope.
+      if (!slots_[pend.dest].ch.send_bytes(frame)) {
+        return unsupported("p" + std::to_string(pend.dest) +
+                           ": duplicate delivery write failed");
+      }
+      ++counts[pend.dest];
+    }
+  }
+  return true;
+}
+
+void TransportDriver::resolve_ok(ProcessId dest, Round r, std::int64_t id) {
+  if (id < 0 || id >= static_cast<std::int64_t>(pendings_.size())) {
+    note("schedule", r, "inbox acknowledged a message the hub never sent");
+    return;
+  }
+  Pending& pend = pendings_[static_cast<std::size_t>(id)];
+  if (pend.resolved) {
+    note("schedule", r, "duplicate delivery of one message");
+    return;
+  }
+  if (pend.dest != dest || pend.delivery_round != r ||
+      pend.fate != kFateDelivered) {
+    std::ostringstream os;
+    os << "delivery off schedule: p" << pend.sender << "->p" << pend.dest
+       << " due round " << pend.delivery_round << ", acknowledged by p"
+       << dest << " in round " << r;
+    note("schedule", r, os.str());
+    return;
+  }
+  pend.resolved = true;
+  SendRecord sr;
+  sr.sender = pend.sender;
+  sr.dest = pend.dest;
+  sr.sent_round = pend.sent_round;
+  sr.delivery_round = r;
+  sr.payload = pend.payload;
+  sr.delivered = true;
+  causality_.deliver_snapshot(pend.influence, dest);
+  rec_of(r).sends.push_back(std::move(sr));
+}
+
+void TransportDriver::resolve_bad(ProcessId dest, Round r, std::int64_t id,
+                                  std::int64_t code) {
+  if (id < 0 || id >= static_cast<std::int64_t>(pendings_.size())) {
+    note("schedule", r, "inbox rejected a message the hub never sent");
+    return;
+  }
+  Pending& pend = pendings_[static_cast<std::size_t>(id)];
+  if (pend.resolved || pend.dest != dest) {
+    note("schedule", r, "frame rejection does not match any open delivery");
+    return;
+  }
+  pend.resolved = true;
+  // A typed decode rejection is a model-level fault, not a harness error:
+  // the observer records it as a frame-corrupted send and the differ will
+  // hold it against the sync leg (which believed the message delivered).
+  SendRecord sr;
+  sr.sender = pend.sender;
+  sr.dest = pend.dest;
+  sr.sent_round = pend.sent_round;
+  sr.delivery_round = r;
+  sr.payload = pend.payload;
+  sr.frame_corrupted = true;
+  rec_of(r).sends.push_back(std::move(sr));
+  result_->rejected_frames.push_back(
+      FrameReject{dest, pend.sender, pend.sent_round, r,
+                  static_cast<WireError>(code)});
+}
+
+bool TransportDriver::read_inbox_statuses(Round r) {
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (crashed_by(p, r)) continue;
+    Channel::RecvResult st = slots_[p].ch.recv_frame();
+    if (st.error != WireError::kOk || st.eof ||
+        st.frame.type != FrameType::kInboxStatus ||
+        st.frame.body.at("r").int_or(0) != r) {
+      return unsupported("p" + std::to_string(p) +
+                         ": expected inbox status for round " +
+                         std::to_string(r));
+    }
+    const Value& b = st.frame.body;
+    if (b.at("ok").is_array()) {
+      for (const Value& id : b.at("ok").as_array()) {
+        resolve_ok(p, r, id.int_or(-1));
+      }
+    }
+    if (b.at("bad").is_array()) {
+      for (const Value& entry : b.at("bad").as_array()) {
+        if (entry.is_array() && entry.size() == 2) {
+          resolve_bad(p, r, entry.as_array()[0].int_or(-1),
+                      entry.as_array()[1].int_or(0));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void TransportDriver::finalize_round(Round r) {
+  for (std::size_t i = 0; i < pendings_.size(); ++i) {
+    Pending& pend = pendings_[i];
+    if (pend.resolved || pend.delivery_round != r) continue;
+    pend.resolved = true;
+    SendRecord sr;
+    sr.sender = pend.sender;
+    sr.dest = pend.dest;
+    sr.sent_round = pend.sent_round;
+    sr.delivery_round = r;
+    sr.payload = pend.payload;
+    sr.dest_crashed = true;
+    if (pend.fate != kFateDestCrashed || !crashed_by(pend.dest, r)) {
+      std::ostringstream os;
+      os << "p" << pend.sender << "->p" << pend.dest
+         << " vanished in the transport leg (resolved fate " << pend.fate
+         << ", dest crashed=" << crashed_by(pend.dest, r) << ")";
+      note("schedule", r, os.str());
+    }
+    rec_of(r).sends.push_back(std::move(sr));
+  }
+
+  RoundRecord& rec = rec_of(r);
+  rec.faulty_by_now = fault_manifested_;
+  ProcessSet correct(n_);
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (!fault_manifested_[p]) correct.insert(p);
+  }
+  rec.coterie = causality_.coterie(correct).to_bools();
+}
+
+bool TransportDriver::run_rounds() {
+  for (Round r = 1; r <= final_; ++r) {
+    begin_round_record(r);
+    causality_.begin_round();
+    for (ProcessId p = 0; p < n_; ++p) {
+      if (crashed_by(p, r)) {
+        if (!send_shutdown(p, /*end_of_run=*/false)) {
+          return unsupported("p" + std::to_string(p) + ": crash shutdown");
+        }
+        continue;
+      }
+      Value body;
+      body["r"] = Value(r);
+      if (!slots_[p].ch.send_frame(FrameType::kRoundBegin, body)) {
+        return unsupported("p" + std::to_string(p) + ": round begin write");
+      }
+    }
+    if (!read_round_reports(r)) return false;
+    std::vector<std::int64_t> counts(n_, 0);
+    if (!ship_deliveries(r, counts)) return false;
+    for (ProcessId p = 0; p < n_; ++p) {
+      if (crashed_by(p, r)) continue;
+      Value body;
+      body["r"] = Value(r);
+      body["count"] = Value(counts[p]);
+      if (!slots_[p].ch.send_frame(FrameType::kRoundEnd, body)) {
+        return unsupported("p" + std::to_string(p) + ": round end write");
+      }
+    }
+    if (!read_inbox_statuses(r)) return false;
+    finalize_round(r);
+  }
+  return true;
+}
+
+bool TransportDriver::close_books() {
+  final_reports_.assign(n_, Value());
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (crashed_by(p, final_ + 1)) continue;  // shutdown already sent
+    if (!send_shutdown(p, /*end_of_run=*/true)) {
+      return unsupported("p" + std::to_string(p) + ": final shutdown write");
+    }
+    Channel::RecvResult fin = slots_[p].ch.recv_frame();
+    if (fin.error != WireError::kOk || fin.eof ||
+        fin.frame.type != FrameType::kFinal) {
+      return unsupported("p" + std::to_string(p) + ": expected final report");
+    }
+    final_reports_[p] = fin.frame.body;
+  }
+  return true;
+}
+
+void TransportDriver::flush_lost() {
+  std::vector<const Pending*> lost;
+  for (const Pending& pend : pendings_) {
+    if (!pend.resolved && pend.delivery_round > final_) lost.push_back(&pend);
+  }
+  std::stable_sort(lost.begin(), lost.end(),
+                   [](const Pending* a, const Pending* b) {
+                     return a->delivery_round < b->delivery_round;
+                   });
+  for (const Pending* pend : lost) {
+    SendRecord sr;
+    sr.sender = pend->sender;
+    sr.dest = pend->dest;
+    sr.sent_round = pend->sent_round;
+    sr.delivery_round = pend->delivery_round;
+    sr.payload = pend->payload;
+    sr.lost_in_flight = true;
+    rec_of(final_).sends.push_back(std::move(sr));
+  }
+}
+
+void TransportDriver::finish() {
+  // Sends the sync leg scheduled but the transport leg never attempted.
+  for (const auto& [key, fq] : fates_) {
+    if (fq.next < fq.fates.size()) {
+      std::ostringstream os;
+      os << "p" << std::get<1>(key) << "->p" << std::get<2>(key) << ": "
+         << (fq.fates.size() - fq.next)
+         << " sync-scheduled send(s) never attempted by the transport leg";
+      note("schedule", std::get<0>(key), os.str());
+    }
+  }
+
+  // Crash-vector agreement between the sync engine and the hub's books.
+  for (ProcessId p = 0; p < n_; ++p) {
+    const bool sc = sync_->crashed(p);
+    const bool tc = crashed_by(p, final_);
+    if (sc != tc) {
+      note("crashed", final_,
+           "p" + std::to_string(p) + ": sync " + (sc ? "crashed" : "alive") +
+               " vs transport " + (tc ? "crashed" : "alive"));
+    }
+  }
+
+  // Post-final-round survivor agreement, from the kFinal reports.
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (sync_->crashed(p) || crashed_by(p, final_)) continue;
+    const SyncProcess& sp = sync_->process(p);
+    const Value& rep = final_reports_[p];
+    if (!(sp.snapshot_state() == rep.at("state")) ||
+        sp.halted() != rep.at("halted").bool_or(false)) {
+      note("final-state", final_,
+           "p" + std::to_string(p) + ": " + sp.snapshot_state().to_string() +
+               " vs " + rep.at("state").to_string());
+    }
+    const auto sync_clock = sp.round_counter();
+    const bool has_clock = rep.contains("clock");
+    if (sync_clock.has_value() != has_clock ||
+        (sync_clock && *sync_clock != rep.at("clock").int_or(0))) {
+      note("final-clock", final_, "p" + std::to_string(p));
+    }
+  }
+
+  result_->transport_history = h2_;
+
+  MetricsRegistry ms, mt;
+  record_history_metrics(result_->sync_history, ms);
+  record_history_metrics(h2_, mt);
+  if (ms.snapshot().fingerprint() != mt.snapshot().fingerprint()) {
+    note("metrics", final_, "derived metrics snapshots differ");
+  }
+
+  for (const ProcSlot& slot : slots_) {
+    result_->frames_sent += slot.ch.frames_sent + slot.ch.frames_received;
+    result_->bytes_sent += slot.ch.bytes_sent + slot.ch.bytes_received;
+  }
+}
+
+void TransportDriver::teardown() {
+  // Closing the hub ends unblocks any thread still reading; then join.
+  for (ProcSlot& slot : slots_) slot.ch.close_fd();
+  for (ProcSlot& slot : slots_) {
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+  for (ProcessId p = 0; p < static_cast<ProcessId>(slots_.size()); ++p) {
+    if (!slots_[p].error.empty()) {
+      note("io", final_, "p" + std::to_string(p) + ": " + slots_[p].error);
+    }
+  }
+}
+
+void TransportDriver::run() {
+  if (final_ < 1) {
+    unsupported("plan has no rounds");
+    return;
+  }
+  if (n_ < 1) {
+    unsupported("plan has no processes");
+    return;
+  }
+
+  // Sync leg: run, and resolve the plan's randomness from its history.
+  std::string error;
+  std::vector<std::unique_ptr<SyncProcess>> procs =
+      build_trial_processes(plan_, &error);
+  if (procs.empty()) {
+    unsupported("build: " + error);
+    return;
+  }
+  SyncConfig scfg;
+  scfg.seed = plan_.trial_seed;
+  scfg.record_states = true;
+  scfg.max_extra_delay = plan_.max_extra_delay;
+  sync_ = std::make_unique<SyncSimulator>(scfg, std::move(procs));
+  configure_trial(*sync_, plan_);
+  sync_->run_rounds(static_cast<int>(final_));
+  result_->sync_history = sync_->history();
+  FateSchedule schedule = extract_fate_schedule(result_->sync_history);
+  if (!schedule.ok) {
+    unsupported("sync " + schedule.error);
+    return;
+  }
+  fates_ = std::move(schedule.fates);
+
+  // Transport leg: fresh processes, each behind a socketpair on its own
+  // thread, corruptions shipped inside the kInit frame.
+  std::vector<std::unique_ptr<SyncProcess>> fresh =
+      build_trial_processes(plan_, &error);
+  if (fresh.empty()) {
+    unsupported("rebuild: " + error);
+    return;
+  }
+  slots_ = std::vector<ProcSlot>(n_);
+  std::vector<Channel> proc_ends(n_);
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (fresh[p]->suspect_set() != nullptr) any_suspects_ = true;
+    slots_[p].proc = std::move(fresh[p]);
+    if (!Channel::make_pair(&slots_[p].ch, &proc_ends[p])) {
+      unsupported("socketpair failed");
+      teardown();
+      return;
+    }
+    crash_round_[p] = plan_.fault_plan_for(p).crash_at;
+  }
+  for (ProcessId p = 0; p < n_; ++p) {
+    ProcSlot& slot = slots_[p];
+    slot.thread = std::thread(process_main, std::move(proc_ends[p]),
+                              slot.proc.get(), &slot.error);
+  }
+
+  bool alive = true;
+  for (ProcessId p = 0; p < n_ && alive; ++p) {
+    Value init;
+    init["n"] = Value(n_);
+    init["self"] = Value(p);
+    Value::Array corrupt;
+    for (const auto& c : plan_.corruptions) {
+      if (c.process == p) corrupt.push_back(corruption_value(c));
+    }
+    if (!corrupt.empty()) init["corrupt"] = Value(std::move(corrupt));
+    if (!slots_[p].ch.send_frame(FrameType::kInit, init)) {
+      alive = unsupported("p" + std::to_string(p) + ": init write");
+    }
+  }
+
+  h2_.n = n_;
+  if (alive) alive = run_rounds();
+  if (alive) alive = close_books();
+  teardown();
+  if (!alive) return;
+  flush_lost();
+  finish();
+}
+
+}  // namespace
+
+TransportResult run_transport_trial(const TrialPlan& plan,
+                                    const TransportOptions& options) {
+  TransportResult result;
+  TransportDriver driver(plan, options, &result);
+  driver.run();
+  return result;
+}
+
+}  // namespace ftss

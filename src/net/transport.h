@@ -1,0 +1,101 @@
+// Socket transport execution leg: the same TrialPlan executed by the
+// SyncSimulator and by n OS threads exchanging *encoded* frames over
+// loopback socketpairs.
+//
+// Like the event-simulator lock-step leg (conform/lockstep.h), the sync leg
+// runs first and resolves the plan's randomness: every message's fate and
+// delivery round is read off its audited history (sim/fate_schedule.h).
+// The transport leg then re-executes the schedule with real serialization on
+// the path.  Each process runs on its own thread behind a Channel; a hub on
+// the calling thread plays network, fault adversary and external observer.
+// Per round the hub sends kRoundBegin to every live process, drains each
+// process's kSnapshot / kMessage* / kSendDone responses in process-id order,
+// resolves fates, ships due deliveries as kDeliver envelopes wrapping the
+// inner kMessage frame *bytes*, closes the round with kRoundEnd, and reads
+// back each process's kInboxStatus (which ids decoded, which were rejected
+// with what typed wire error).  All cross-thread ordering is imposed by the
+// hub's fixed read order, so thread scheduling cannot perturb the recorded
+// history: transport histories fingerprint-stably match the sync leg's.
+//
+// Corruption surface: the hub can deliberately mangle the inner frame of a
+// chosen delivery (bit flip, truncation, payload mutation), duplicate it,
+// drop it, or delay it a round.  Because the mangled bytes ride inside an
+// intact kDeliver envelope, the stream stays framed while the receiver's
+// decode_frame_exact sees exactly the corrupted bytes — rejections come
+// back as typed WireErrors and are recorded as frame_corrupted sends, a
+// fault class the in-memory legs cannot express.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/plan.h"
+#include "sim/history.h"
+#include "wire/codec.h"
+
+namespace ftss {
+
+struct TransportOptions {
+  // CORRUPTION HOOKS: each selects the k-th delivery attempt (0-based count
+  // of scheduled-as-delivered messages across the run; -1 = none) and
+  // mangles its inner kMessage frame on the hub side before shipping.
+  int flip_bit_index = -1;   // XOR one bit of the inner frame...
+  int flip_bit = 0;          // ...this bit (absolute bit offset in the frame)
+  int truncate_index = -1;   // ship only the first half of the inner frame
+  int mutate_payload_index = -1;  // re-encode with payload replaced
+  int duplicate_index = -1;  // ship the same kDeliver envelope twice
+  int drop_index = -1;       // ship nothing at all
+  int delay_index = -1;      // ship one round later than scheduled
+};
+
+// A receiver-side rejection of one inner frame, with its typed cause.
+struct FrameReject {
+  ProcessId dest = -1;
+  ProcessId sender = -1;
+  Round sent_round = 0;
+  Round round = 0;  // round the delivery was attempted
+  wire::WireError error = wire::WireError::kOk;
+};
+
+// A hub-side cross-check the histories alone cannot express, in the same
+// kind/round/detail shape as conform's Divergence (converted there; net/
+// does not depend on conform/).
+struct TransportNote {
+  std::string kind;
+  Round round = 0;
+  std::string detail;
+};
+
+struct TransportResult {
+  // False when the plan cannot run on this leg (unknown protocol, no
+  // rounds, an ambiguous fate schedule) or the harness itself failed
+  // (socket/thread errors) — such results are skipped, not failed.
+  bool supported = true;
+  std::string unsupported_reason;
+
+  History sync_history;
+  History transport_history;
+
+  // Cross-checks: "schedule" (replay integrity), "crashed" (crash-vector
+  // agreement), "final-state" / "final-clock" (survivor agreement after the
+  // last round), "metrics" (derived metrics snapshots), "io" (a channel
+  // failed mid-run).
+  std::vector<TransportNote> notes;
+
+  // Typed rejections reported by receivers; empty unless corruption was
+  // injected (or an engine actually corrupts frames, which is the bug this
+  // leg exists to catch).
+  std::vector<FrameReject> rejected_frames;
+
+  // Codec utilization across all channels, both directions.
+  std::int64_t frames_sent = 0;
+  std::int64_t bytes_sent = 0;
+
+  bool ok() const { return supported && notes.empty(); }
+};
+
+TransportResult run_transport_trial(const TrialPlan& plan,
+                                    const TransportOptions& options = {});
+
+}  // namespace ftss

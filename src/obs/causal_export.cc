@@ -152,8 +152,10 @@ void export_chrome_flows(std::ostream& os, const History& h,
                       ? "send-omission"
                       : (s.dropped_by_receiver
                              ? "receive-omission"
-                             : (s.lost_in_flight ? "in-flight-at-end"
-                                                 : "dest-crashed")));
+                             : (s.lost_in_flight
+                                    ? "in-flight-at-end"
+                                    : (s.frame_corrupted ? "frame-corrupt"
+                                                         : "dest-crashed"))));
         inst["args"]["sender"] = Value(s.sender);
         inst["args"]["sent_round"] = Value(s.sent_round);
         out.push_back(std::move(inst));

@@ -126,6 +126,8 @@ void record_history_metrics(const History& h, MetricsRegistry& m) {
         m.add("msgs_dropped_dest_crashed");
       } else if (s.lost_in_flight) {
         m.add("msgs_in_flight_at_end");
+      } else if (s.frame_corrupted) {
+        m.add("msgs_dropped_frame_corrupt");
       }
     }
     std::int64_t size = 0;

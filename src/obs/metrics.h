@@ -82,8 +82,9 @@ const std::vector<std::int64_t>& coterie_size_bounds();
 
 // Fold the observer-visible facts of a recorded history into `m`:
 //   msgs_sent / msgs_delivered / msgs_dropped_{send_omission,
-//   receive_omission, dest_crashed} / msgs_in_flight_at_end (jitter delay
-//   past the final executed round) / msgs_delayed (jitter), rounds,
+//   receive_omission, dest_crashed, frame_corrupt} / msgs_in_flight_at_end
+//   (jitter delay past the final executed round) / msgs_delayed (jitter),
+//   rounds,
 //   coterie_changes, suspect_churn (membership changes between recorded
 //   suspect sets), histogram coterie_size, gauges coterie_size_peak and
 //   faulty_processes.

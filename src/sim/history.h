@@ -34,6 +34,12 @@ struct SendRecord {
   // NOT consumed — extending the execution with another run_rounds call
   // retracts these records and resolves the messages normally.
   bool lost_in_flight = false;
+  // The encoded frame failed to decode at the receiver (truncated,
+  // bit-flipped, or otherwise mangled in transit) and was rejected with a
+  // typed wire error.  Only the transport leg (src/net/) can produce this
+  // cause: the in-memory legs never serialize, which is exactly why this
+  // fault class was invisible before the wire format existed.
+  bool frame_corrupted = false;
 };
 
 // The observer's record of one actual round r (1-based).

@@ -72,6 +72,8 @@ void dump_history(std::ostream& os, const History& h, DumpOptions options) {
           os << "LOST (dest crashed)";
         } else if (s.lost_in_flight) {
           os << "IN FLIGHT (undelivered at end of run)";
+        } else if (s.frame_corrupted) {
+          os << "REJECTED (frame corrupt on the wire)";
         }
         // Jitter-delayed messages resolve in a later round than they were
         // sent; show the send round and delay so they are distinguishable

@@ -341,7 +341,12 @@ class Parser {
       if (!consume(':')) return std::nullopt;
       auto v = parse_value();
       if (!v) return std::nullopt;
-      items[std::move(*key)] = std::move(*v);
+      // Duplicate keys are malformed, not last-wins: the binary wire decoder
+      // (wire/codec.cc) rejects them as kDuplicateMapKey, and the two
+      // adversary-facing decoders must agree on what they accept.
+      if (!items.emplace(std::move(*key), std::move(*v)).second) {
+        return std::nullopt;
+      }
       skip_ws();
       if (consume('}')) {
         --depth_;

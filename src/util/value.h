@@ -124,6 +124,17 @@ class Value {
   // array/map node; mutation through the COW accessors invalidates it.
   std::uint64_t hash() const;
 
+  // Identity of the refcounted array/map node (nullptr for scalars).  Two
+  // Values report the same identity iff they share one COW node — i.e. they
+  // are deep-equal *by construction*.  The wire encoder keys substructure
+  // interning off this: full-information payloads share history subtrees via
+  // COW, so repeated subtrees encode as back-references instead of bytes.
+  const void* node_identity() const {
+    if (is_array()) return std::get<ArrayPtr>(v_).get();
+    if (is_map()) return std::get<MapPtr>(v_).get();
+    return nullptr;
+  }
+
  private:
   static bool eq_slow(const Value& a, const Value& b);
   static std::strong_ordering cmp_slow(const Value& a, const Value& b);

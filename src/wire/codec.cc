@@ -1,0 +1,296 @@
+#include "wire/codec.h"
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ftss::wire {
+
+const char* wire_error_name(WireError e) {
+  switch (e) {
+    case WireError::kOk: return "ok";
+    case WireError::kTruncated: return "truncated";
+    case WireError::kBadMagic: return "bad-magic";
+    case WireError::kBadVersion: return "bad-version";
+    case WireError::kBadFlags: return "bad-flags";
+    case WireError::kBadFrameType: return "bad-frame-type";
+    case WireError::kOversized: return "oversized";
+    case WireError::kHashMismatch: return "hash-mismatch";
+    case WireError::kBadTag: return "bad-tag";
+    case WireError::kVarintTooLong: return "varint-too-long";
+    case WireError::kBadStringRef: return "bad-string-ref";
+    case WireError::kBadNodeRef: return "bad-node-ref";
+    case WireError::kDepthExceeded: return "depth-exceeded";
+    case WireError::kDuplicateMapKey: return "duplicate-map-key";
+    case WireError::kMapKeyOrder: return "map-key-order";
+    case WireError::kTrailingBytes: return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t x) {
+  while (x >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(x) | 0x80);
+    x >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(x));
+}
+
+WireError get_varint(const std::uint8_t* data, std::size_t size,
+                     std::size_t* pos, std::uint64_t* out) {
+  std::uint64_t x = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (*pos >= size) return WireError::kTruncated;
+    const std::uint8_t b = data[(*pos)++];
+    if (i == 9 && (b & 0xfe) != 0) return WireError::kVarintTooLong;
+    if (i > 0 && b == 0) return WireError::kVarintTooLong;  // non-minimal
+    x |= static_cast<std::uint64_t>(b & 0x7f) << (7 * i);
+    if ((b & 0x80) == 0) {
+      *out = x;
+      return WireError::kOk;
+    }
+  }
+  return WireError::kVarintTooLong;
+}
+
+namespace {
+
+// Value tag bytes.
+constexpr std::uint8_t kTagNull = 0;
+constexpr std::uint8_t kTagFalse = 1;
+constexpr std::uint8_t kTagTrue = 2;
+constexpr std::uint8_t kTagInt = 3;
+constexpr std::uint8_t kTagStrDef = 4;
+constexpr std::uint8_t kTagStrRef = 5;
+constexpr std::uint8_t kTagArray = 6;
+constexpr std::uint8_t kTagMap = 7;
+constexpr std::uint8_t kTagNodeRef = 8;
+
+class Encoder {
+ public:
+  explicit Encoder(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void value(const Value& v) {
+    if (v.is_null()) {
+      out_.push_back(kTagNull);
+      return;
+    }
+    if (v.is_bool()) {
+      out_.push_back(v.as_bool() ? kTagTrue : kTagFalse);
+      return;
+    }
+    if (v.is_int()) {
+      out_.push_back(kTagInt);
+      put_varint(out_, zigzag(v.as_int()));
+      return;
+    }
+    if (v.is_string()) {
+      string(v.as_string());
+      return;
+    }
+    // Array or map: a COW node.  A node already emitted in this encoding
+    // is deep-equal by construction, so it collapses to a back-reference.
+    const void* node = v.node_identity();
+    if (const auto it = nodes_.find(node); it != nodes_.end()) {
+      out_.push_back(kTagNodeRef);
+      put_varint(out_, it->second);
+      return;
+    }
+    if (v.is_array()) {
+      out_.push_back(kTagArray);
+      put_varint(out_, v.as_array().size());
+      for (const Value& e : v.as_array()) value(e);
+    } else {
+      out_.push_back(kTagMap);
+      put_varint(out_, v.as_map().size());
+      for (const auto& [k, e] : v.as_map()) {
+        string(k);
+        value(e);
+      }
+    }
+    // Ids are assigned on *completion* (post-order), mirroring the decoder,
+    // so a ref can never point at a node still being decoded.
+    nodes_.emplace(node, next_node_id_++);
+  }
+
+ private:
+  void string(const std::string& s) {
+    if (const auto it = strings_.find(std::string_view(s));
+        it != strings_.end()) {
+      out_.push_back(kTagStrRef);
+      put_varint(out_, it->second);
+      return;
+    }
+    out_.push_back(kTagStrDef);
+    put_varint(out_, s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+    // The view points into the caller's Value tree, which outlives encoding.
+    strings_.emplace(std::string_view(s), next_string_id_++);
+  }
+
+  std::vector<std::uint8_t>& out_;
+  std::map<std::string_view, std::uint64_t> strings_;
+  std::map<const void*, std::uint64_t> nodes_;
+  std::uint64_t next_string_id_ = 0;
+  std::uint64_t next_node_id_ = 0;
+};
+
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  WireError value(Value* out) { return value_impl(out, 0); }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  WireError value_impl(Value* out, int depth) {
+    if (depth >= kMaxDecodeDepth) return WireError::kDepthExceeded;
+    if (pos_ >= size_) return WireError::kTruncated;
+    const std::uint8_t tag = data_[pos_++];
+    switch (tag) {
+      case kTagNull:
+        *out = Value();
+        return WireError::kOk;
+      case kTagFalse:
+        *out = Value(false);
+        return WireError::kOk;
+      case kTagTrue:
+        *out = Value(true);
+        return WireError::kOk;
+      case kTagInt: {
+        std::uint64_t u = 0;
+        if (const WireError e = get_varint(data_, size_, &pos_, &u);
+            e != WireError::kOk) {
+          return e;
+        }
+        *out = Value(static_cast<long long>(unzigzag(u)));
+        return WireError::kOk;
+      }
+      case kTagStrDef:
+      case kTagStrRef: {
+        std::string s;
+        if (const WireError e = string_body(tag, &s); e != WireError::kOk) {
+          return e;
+        }
+        *out = Value(std::move(s));
+        return WireError::kOk;
+      }
+      case kTagArray: {
+        std::uint64_t count = 0;
+        if (const WireError e = get_varint(data_, size_, &pos_, &count);
+            e != WireError::kOk) {
+          return e;
+        }
+        Value::Array items;
+        // A hostile count cannot force allocation: reserve is capped and the
+        // loop hits kTruncated as soon as the input runs dry.
+        items.reserve(static_cast<std::size_t>(count < 1024 ? count : 1024));
+        for (std::uint64_t i = 0; i < count; ++i) {
+          Value item;
+          if (const WireError e = value_impl(&item, depth + 1);
+              e != WireError::kOk) {
+            return e;
+          }
+          items.push_back(std::move(item));
+        }
+        *out = Value(std::move(items));
+        nodes_.push_back(*out);
+        return WireError::kOk;
+      }
+      case kTagMap: {
+        std::uint64_t count = 0;
+        if (const WireError e = get_varint(data_, size_, &pos_, &count);
+            e != WireError::kOk) {
+          return e;
+        }
+        Value::Map items;
+        std::string prev_key;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          if (pos_ >= size_) return WireError::kTruncated;
+          const std::uint8_t ktag = data_[pos_++];
+          if (ktag != kTagStrDef && ktag != kTagStrRef) {
+            return WireError::kBadTag;
+          }
+          std::string key;
+          if (const WireError e = string_body(ktag, &key);
+              e != WireError::kOk) {
+            return e;
+          }
+          if (i > 0) {
+            if (key == prev_key) return WireError::kDuplicateMapKey;
+            if (key < prev_key) return WireError::kMapKeyOrder;
+          }
+          Value item;
+          if (const WireError e = value_impl(&item, depth + 1);
+              e != WireError::kOk) {
+            return e;
+          }
+          items.emplace_hint(items.end(), key, std::move(item));
+          prev_key = std::move(key);
+        }
+        *out = Value(std::move(items));
+        nodes_.push_back(*out);
+        return WireError::kOk;
+      }
+      case kTagNodeRef: {
+        std::uint64_t id = 0;
+        if (const WireError e = get_varint(data_, size_, &pos_, &id);
+            e != WireError::kOk) {
+          return e;
+        }
+        if (id >= nodes_.size()) return WireError::kBadNodeRef;
+        *out = nodes_[static_cast<std::size_t>(id)];  // refcount bump only
+        return WireError::kOk;
+      }
+      default:
+        return WireError::kBadTag;
+    }
+  }
+
+  // Reads the body of a string whose tag has already been consumed, and
+  // registers defs in the intern table (keys and string values share it,
+  // exactly as the encoder's table does).
+  WireError string_body(std::uint8_t tag, std::string* out) {
+    std::uint64_t u = 0;
+    if (const WireError e = get_varint(data_, size_, &pos_, &u);
+        e != WireError::kOk) {
+      return e;
+    }
+    if (tag == kTagStrRef) {
+      if (u >= strings_.size()) return WireError::kBadStringRef;
+      *out = strings_[static_cast<std::size_t>(u)];
+      return WireError::kOk;
+    }
+    if (u > size_ - pos_) return WireError::kTruncated;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(u));
+    pos_ += static_cast<std::size_t>(u);
+    strings_.push_back(*out);
+    return WireError::kOk;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> strings_;
+  std::vector<Value> nodes_;
+};
+
+}  // namespace
+
+void encode_value(const Value& v, std::vector<std::uint8_t>& out) {
+  Encoder(out).value(v);
+}
+
+ValueDecodeResult decode_value(const std::uint8_t* data, std::size_t size) {
+  ValueDecodeResult result;
+  Decoder d(data, size);
+  result.error = d.value(&result.value);
+  result.consumed = d.pos();
+  if (result.error != WireError::kOk) result.value = Value();
+  return result;
+}
+
+}  // namespace ftss::wire

@@ -1,0 +1,93 @@
+// Compact binary codec for Value trees.
+//
+// The simulator legs hand Value trees between slots in memory, so nothing
+// ever exercised serialization — the dominant cost on any real message
+// path.  This codec is the wire form used by the transport execution leg
+// (src/net/): a flat byte encoding with
+//
+//   - one tag byte per value (null / false / true / int / string-def /
+//     string-ref / array / map / node-ref),
+//   - LEB128 varints for lengths and counts, zigzag varints for int64, so
+//     the common small protocol integers are one byte,
+//   - an interned string table: the first occurrence of a string (map keys
+//     included) is a def carrying its bytes, every later occurrence is a
+//     one-tag ref — full-information payloads repeat keys like "c"/"type"
+//     per history entry, so keys are ~free after the first round,
+//   - an interned node table keyed on COW node identity
+//     (Value::node_identity): a subtree shared by copy-on-write encodes
+//     once and every further occurrence is a node-ref, which is exactly
+//     the sharing pattern of Π⁺ relays (broadcast payloads embed the same
+//     history prefix n times).
+//
+// The format is canonical where the decoder can check it cheaply: map keys
+// must be strictly ascending (so duplicate keys are a typed error, matching
+// Value::parse) and varints must be minimal.  decode_value never throws and
+// never reads past `size`; every rejection is a typed WireError — corrupted
+// frames are a first-class fault the checker injects on purpose.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/value.h"
+
+namespace ftss::wire {
+
+enum class WireError {
+  kOk = 0,
+  kTruncated,        // input ended inside a value / header / body
+  kBadMagic,         // frame prefix is not "FTSW"
+  kBadVersion,       // frame version this decoder does not speak
+  kBadFlags,         // reserved flag bits set
+  kBadFrameType,     // frame type byte outside the known range
+  kOversized,        // declared body length above kMaxFrameBody
+  kHashMismatch,     // header content hash does not match the bytes
+  kBadTag,           // unknown value tag byte
+  kVarintTooLong,    // varint overflows 64 bits or is non-minimal
+  kBadStringRef,     // string-ref to an id never defined
+  kBadNodeRef,       // node-ref to an id never completed
+  kDepthExceeded,    // nesting beyond kMaxDecodeDepth
+  kDuplicateMapKey,  // two equal keys in one map (Value::parse agrees)
+  kMapKeyOrder,      // map keys not strictly ascending (non-canonical)
+  kTrailingBytes,    // frame body continues past its root value
+};
+
+const char* wire_error_name(WireError e);
+
+// Decode-side nesting cap, aligned with Value::parse's recursion cap: the
+// two adversary-facing decoders must reject the same depth band.
+inline constexpr int kMaxDecodeDepth = 256;
+
+// --- Varints (exposed for tests and the fuzzer) -------------------------
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t x);
+// Minimal-form LEB128: a non-terminal byte of 0 (a padded encoding) is
+// rejected, so every u64 has exactly one accepted encoding.
+WireError get_varint(const std::uint8_t* data, std::size_t size,
+                     std::size_t* pos, std::uint64_t* out);
+
+inline std::uint64_t zigzag(std::int64_t x) {
+  return (static_cast<std::uint64_t>(x) << 1) ^
+         static_cast<std::uint64_t>(x >> 63);
+}
+inline std::int64_t unzigzag(std::uint64_t u) {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+// --- Values -------------------------------------------------------------
+
+// Appends the encoding of `v` to `out`.  Encoding never fails.
+void encode_value(const Value& v, std::vector<std::uint8_t>& out);
+
+struct ValueDecodeResult {
+  WireError error = WireError::kOk;
+  Value value;
+  std::size_t consumed = 0;  // bytes read (valid also on error, for reports)
+};
+
+// Decodes exactly one value starting at data[0].  Trailing bytes are the
+// caller's concern (frame decoding rejects them as kTrailingBytes).
+ValueDecodeResult decode_value(const std::uint8_t* data, std::size_t size);
+
+}  // namespace ftss::wire

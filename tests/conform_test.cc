@@ -326,14 +326,15 @@ TEST(ConformSweep, StandardSweepIsCleanAndPinned) {
   EXPECT_GE(report.systems.size(), 5u) << report.summary();
   // Every oracle ran on a nontrivial share of the sweep.
   for (const char* oracle :
-       {"lockstep", "extension", "permutation", "tracing", "cow"}) {
+       {"lockstep", "transport", "extension", "permutation", "tracing",
+        "cow"}) {
     ASSERT_TRUE(report.oracles.count(oracle)) << oracle;
     EXPECT_GT(report.oracles.at(oracle).ran, 0) << oracle;
     EXPECT_EQ(report.oracles.at(oracle).failed, 0) << oracle;
   }
 
   if (testing::trial_scale() == 1) {
-    EXPECT_EQ(report.fingerprint, 0x8093000aebe130aeULL)
+    EXPECT_EQ(report.fingerprint, 0x0c39c50191664c9eULL)
         << "sweep fingerprint 0x" << std::hex << report.fingerprint;
   }
 }
