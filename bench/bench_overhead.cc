@@ -12,6 +12,7 @@
 #include "core/compiler.h"
 #include "core/full_info.h"
 #include "core/round_agreement.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 #include "protocols/floodset.h"
 #include "protocols/repeated.h"
@@ -175,13 +176,15 @@ void print_ablation() {
 }
 
 // Tracing overhead on the round-agreement hot loop.  Arg encodes the sink:
-// 0 = no sink attached (the production configuration — every emission site
-// is behind a null-pointer guard, so this must track the pre-trace-layer
-// cost), 1 = ring-buffered JSONL sink, 2 = Chrome sink.  Compare arg 0
-// against arg 1/2 to see what turning tracing on costs.
+// 0 = no sink attached (the production configuration — the kTraced=false
+// run_rounds instantiation contains no emission code at all, so this must
+// track the pre-trace-layer cost), 1 = ring-buffered JSONL sink, 2 = Chrome
+// sink, 3 = flight-recorder sink (one binary ring event per simulator
+// event).  Compare arg 0 against arg 1/2/3 to see what each sink costs.
 void BM_TracedRoundAgreement(benchmark::State& state) {
   const int n = 16;
   const int sink_kind = static_cast<int>(state.range(0));
+  FlightRecorder::global().set_enabled(true);
   for (auto _ : state) {
     std::vector<std::unique_ptr<SyncProcess>> procs;
     for (ProcessId p = 0; p < n; ++p) {
@@ -191,14 +194,16 @@ void BM_TracedRoundAgreement(benchmark::State& state) {
                       std::move(procs));
     JsonlTraceSink jsonl(/*capacity=*/4096);
     ChromeTraceSink chrome;
+    FlightTraceSink flight;
     if (sink_kind == 1) sim.set_trace_sink(&jsonl);
     if (sink_kind == 2) sim.set_trace_sink(&chrome);
+    if (sink_kind == 3) sim.set_trace_sink(&flight);
     sim.run_rounds(20);
     benchmark::DoNotOptimize(sim.history().length());
   }
   state.SetItemsProcessed(state.iterations() * 20);
 }
-BENCHMARK(BM_TracedRoundAgreement)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_TracedRoundAgreement)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_SnapshotBytes(benchmark::State& state) {
   auto protocol = std::make_shared<FloodSetConsensus>(3);

@@ -136,15 +136,27 @@ BENCHMARK(BM_InMemoryTrial)->Arg(4)->Arg(8)->UseRealTime();
 // encoded, shipped through a socketpair and decoded.  Includes the sync
 // reference run the hub performs first, so the delta over 2x
 // BM_InMemoryTrial is the serialization + scheduling overhead proper.
+// The profiler's wall-clock histograms ride along as counters (merged
+// across iterations), so --json baselines track latency percentiles, not
+// just whole-trial throughput.
 void BM_TransportTrial(benchmark::State& state) {
   const TrialPlan plan = bench_plan(static_cast<int>(state.range(0)), 20);
   std::int64_t bytes = 0;
+  MetricsSnapshot timing;
   for (auto _ : state) {
     const TransportResult r = run_transport_trial(plan);
     benchmark::DoNotOptimize(r.transport_history);
     bytes += r.bytes_sent;
+    timing.merge(r.timing);
   }
   state.SetBytesProcessed(bytes);
+  for (const auto& [name, hist] : timing.histograms) {
+    // e.g. hub_round_ns_p50, wire_encode_ns_p99: log-bucket upper bounds.
+    state.counters[name + "_p50"] =
+        static_cast<double>(hist.percentile_upper(50));
+    state.counters[name + "_p99"] =
+        static_cast<double>(hist.percentile_upper(99));
+  }
 }
 BENCHMARK(BM_TransportTrial)->Arg(4)->Arg(8)->UseRealTime();
 

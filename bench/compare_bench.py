@@ -13,6 +13,11 @@ For every benchmark present in both files, relative deltas are reported for
 cpu_ns_per_iter and any extra counters (e.g. allocs_per_round).  A benchmark
 regresses when fresh > baseline * (1 + tolerance) on cpu_ns_per_iter or on
 an alloc counter; timing improvements and new/removed benchmarks never fail.
+Anything present only in the candidate — a whole bench file, a benchmark, or
+a counter on an existing benchmark (e.g. newly added latency percentiles) —
+is reported as "new" and never diffed against nothing.  Counters whose name
+marks them as wall-clock (.._ns, .._ns_p50/p99) get the wide time tolerance;
+the tight counter tolerance is reserved for deterministic work counters.
 Exit status is 1 if any regression was found, else 0.  CI wires this in as a
 non-blocking report: shared runners are noisy, so a red compare is a prompt
 to look at the numbers, not a merge gate.
@@ -27,6 +32,12 @@ import sys
 # Counters that measure work done (not wall time) and should be compared
 # tightly: they are deterministic per build, so even a small growth is real.
 COUNTER_TOLERANCE = 0.05
+
+
+def is_wall_clock_counter(name):
+    """Nanosecond-valued counters (latency percentiles etc.) are as noisy as
+    the timings themselves and get the time tolerance, not the tight one."""
+    return name.endswith("_ns") or "_ns_" in name
 
 
 def load(path):
@@ -50,7 +61,12 @@ def compare_files(baseline_path, fresh_path, tolerance):
     baseline = load(baseline_path)
     fresh = load(fresh_path)
     rows = []
+    new_counters = []
     regressed = False
+    # Rates derived from the timing (higher = better) are redundant with
+    # cpu_ns_per_iter and would mis-diff under a growth-is-bad rule.
+    skip = {"cpu_ns_per_iter", "real_ns_per_iter", "iterations",
+            "items_per_second", "bytes_per_second", "name"}
     for name, b in sorted(baseline.items()):
         f = fresh.get(name)
         if f is None:
@@ -58,13 +74,17 @@ def compare_files(baseline_path, fresh_path, tolerance):
         regressed |= compare_metric(name, "cpu_ns_per_iter",
                                     b.get("cpu_ns_per_iter"),
                                     f.get("cpu_ns_per_iter"), tolerance, rows)
-        skip = {"cpu_ns_per_iter", "real_ns_per_iter", "iterations",
-                "items_per_second", "name"}
         for counter in sorted(set(b) & set(f) - skip):
             if isinstance(b[counter], (int, float)):
+                counter_tol = (tolerance if is_wall_clock_counter(counter)
+                               else COUNTER_TOLERANCE)
                 regressed |= compare_metric(name, counter, b[counter],
-                                            f[counter], COUNTER_TOLERANCE,
-                                            rows)
+                                            f[counter], counter_tol, rows)
+        # Candidate-only counters have no baseline to diff against: report,
+        # never fail (they become comparable once the baseline regenerates).
+        for counter in sorted(set(f) - set(b) - skip):
+            if isinstance(f[counter], (int, float)):
+                new_counters.append((name, counter, f[counter]))
     only_fresh = sorted(set(fresh) - set(baseline))
 
     print(f"\n== {os.path.basename(baseline_path)} "
@@ -76,6 +96,8 @@ def compare_files(baseline_path, fresh_path, tolerance):
         flag = "REGRESSED" if bad else ("improved" if delta < -0.05 else "ok")
         print(f"  {name:<{width}}  {metric:<18} {base:>14.6g} -> {fr:>14.6g} "
               f"({delta:+7.1%})  {flag}")
+    for name, counter, value in new_counters:
+        print(f"  {name}: new counter {counter} = {value:g} (no baseline)")
     for name in only_fresh:
         print(f"  {name}: new benchmark (no baseline)")
     return regressed
@@ -95,13 +117,20 @@ def main():
     if args.baseline_dir or args.fresh_dir:
         if not (args.baseline_dir and args.fresh_dir):
             ap.error("--baseline-dir and --fresh-dir go together")
-        for base in sorted(glob.glob(os.path.join(args.baseline_dir,
-                                                  "BENCH_*.json"))):
+        baselines = sorted(glob.glob(os.path.join(args.baseline_dir,
+                                                  "BENCH_*.json")))
+        for base in baselines:
             fresh = os.path.join(args.fresh_dir, os.path.basename(base))
             if os.path.exists(fresh):
                 pairs.append((base, fresh))
             else:
                 print(f"note: no fresh run for {os.path.basename(base)}")
+        known = {os.path.basename(b) for b in baselines}
+        for fresh in sorted(glob.glob(os.path.join(args.fresh_dir,
+                                                   "BENCH_*.json"))):
+            if os.path.basename(fresh) not in known:
+                print(f"note: {os.path.basename(fresh)} is new "
+                      f"(no committed baseline)")
     elif len(args.files) == 2:
         pairs.append((args.files[0], args.files[1]))
     else:

@@ -9,6 +9,7 @@
 
 #include "check/shrink.h"
 #include "check/trial_build.h"
+#include "obs/flight.h"
 #include "util/parallel.h"
 
 namespace ftss {
@@ -84,6 +85,7 @@ TrialResult run_trial(const TrialPlan& plan) {
 }
 
 TrialResult run_trial(const TrialPlan& plan, const TrialRunOptions& options) {
+  const std::int64_t start_ns = FlightRecorder::now_ns();
   TrialResult result;
   result.plan = plan;
 
@@ -118,7 +120,20 @@ TrialResult run_trial(const TrialPlan& plan, const TrialRunOptions& options) {
     reg.observe("stabilization_latency", *result.evaluation.stabilization,
                 stabilization_latency_bounds());
   }
+  // Wall-clock side tape: trial_ns is a wall_clock histogram (outside the
+  // snapshot's stable fingerprint) and the flight recorder gets one span
+  // per trial plus an instant per failing trial, so a dump taken at
+  // failure time shows which trials ran and which one tripped the oracle.
+  reg.observe_nanos("trial_ns", FlightRecorder::now_ns() - start_ns);
   result.metrics = reg.snapshot();
+  FlightRecorder::span(FlightCat::kTrial,
+                       static_cast<std::int64_t>(plan.trial_seed), start_ns);
+  if (!result.evaluation.ok()) {
+    FlightRecorder::instant(
+        FlightCat::kOracle,
+        static_cast<std::int64_t>(result.evaluation.violations.size()),
+        static_cast<std::int64_t>(plan.trial_seed));
+  }
   return result;
 }
 

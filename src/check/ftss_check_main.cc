@@ -18,6 +18,7 @@
 #include <string>
 
 #include "check/explorer.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 
 namespace {
@@ -36,9 +37,13 @@ void usage() {
          "  --replay FILE    run one plan from a JSON file and exit\n"
          "  --dump-trial I   print the I-th sampled plan and exit\n"
          "  --metrics-out F  write the aggregated metrics snapshot as JSON\n"
-         "                   (deterministic: identical for any --threads)\n"
+         "                   (\"metrics\" is deterministic: identical for any\n"
+         "                   --threads; wall-clock data rides in \"timing\")\n"
          "  --trace-out F    with --replay: write the replay's event trace\n"
-         "                   (.jsonl -> JSONL, otherwise Chrome trace_event)\n";
+         "                   (.jsonl -> JSONL, otherwise Chrome trace_event)\n"
+         "  --dump-dir D     where failure artifacts (.flight + metrics)\n"
+         "                   land (default $FTSS_DUMP_DIR, else \".\");\n"
+         "                   decode with ftss_trace --flight\n";
 }
 
 bool write_file(const std::string& path, const std::string& contents,
@@ -66,12 +71,28 @@ std::string metrics_json(const ftss::MetricsSnapshot& metrics,
   std::ostringstream fp;
   fp << "0x" << std::hex << metrics.fingerprint();
   doc["fingerprint"] = ftss::Value(fp.str());
-  doc["metrics"] = metrics.to_value();
+  // "metrics" is the deterministic part (identical across --threads and
+  // machine speed); wall-clock histograms go in "timing" so the split is
+  // unmissable to anything diffing these files.
+  doc["metrics"] = metrics.stable_value();
+  doc["timing"] = metrics.timing_value();
   return doc.to_string() + "\n";
 }
 
+// Dump-on-failure: flight ring + full metrics snapshot, reproducer-adjacent.
+void dump_failure(const std::string& dump_dir, const char* stem,
+                  const ftss::MetricsSnapshot& metrics) {
+  const std::string prefix =
+      ftss::failure_dump_dir(dump_dir) + "/" + stem;
+  const std::string path = ftss::dump_failure_artifacts(prefix, &metrics);
+  if (!path.empty()) {
+    std::cout << "flight dump: " << path << " (decode with ftss_trace "
+              << "--flight " << path << ")\n";
+  }
+}
+
 int replay(const std::string& path, const std::string& trace_path,
-           const std::string& metrics_path) {
+           const std::string& metrics_path, const std::string& dump_dir) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "ftss_check: cannot open " << path << "\n";
@@ -120,6 +141,7 @@ int replay(const std::string& path, const std::string& trace_path,
     return 0;
   }
   std::cout << "FAIL\n" << result.evaluation.describe();
+  dump_failure(dump_dir, "ftss_check_replay_failure", result.metrics);
   return 1;
 }
 
@@ -130,6 +152,7 @@ int main(int argc, char** argv) {
   std::string replay_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string dump_dir;
   int dump_trial = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -176,6 +199,8 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (arg == "--dump-trial") {
       dump_trial = std::atoi(next());
+    } else if (arg == "--dump-dir") {
+      dump_dir = next();
     } else {
       usage();
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -189,7 +214,7 @@ int main(int argc, char** argv) {
   }
 
   if (!replay_path.empty()) {
-    return replay(replay_path, trace_path, metrics_path);
+    return replay(replay_path, trace_path, metrics_path, dump_dir);
   }
 
   if (dump_trial >= 0) {
@@ -211,7 +236,12 @@ int main(int argc, char** argv) {
   }
 
   if (config.weakened == ftss::WeakenedKind::kNone) {
-    return report.failing_trials > 0 ? 1 : 0;
+    if (report.failing_trials > 0) {
+      // An oracle failed on a real protocol: preserve the black box.
+      dump_failure(dump_dir, "ftss_check_failure", report.metrics);
+      return 1;
+    }
+    return 0;
   }
   // A weakened protocol was planted: the explorer must catch it.
   if (report.failing_trials > 0) {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "check/shrink.h"
+#include "obs/flight.h"
 #include "util/parallel.h"
 
 namespace ftss {
@@ -74,14 +75,41 @@ TrialPlan normalize_for_permutation(const TrialPlan& plan) {
 }
 
 std::vector<OracleResult> run_conformance(const TrialPlan& plan) {
+  // Each oracle evaluation becomes one flight span (a = oracle index, in
+  // battery order) and each divergence an instant, so a dump taken when a
+  // sweep fails shows which oracle on which trial blew up and how long the
+  // preceding ones took.  Wall clock never reaches the sweep fingerprint.
+  const auto timed = [](int index, OracleResult r) {
+    if (!r.ok()) {
+      FlightRecorder::instant(
+          FlightCat::kOracle, index,
+          static_cast<std::int64_t>(r.divergences.size()));
+    }
+    return r;
+  };
   std::vector<OracleResult> out;
-  out.push_back(check_lockstep(plan));
-  out.push_back(check_transport(plan));
-  out.push_back(check_extension(plan, plan.rounds / 2));
-  out.push_back(
-      check_permutation(normalize_for_permutation(plan), rotation(plan.n)));
-  out.push_back(check_trace_transparency(plan));
-  out.push_back(check_cow_transparency(plan));
+  const std::int64_t start_ns = FlightRecorder::now_ns();
+  std::int64_t t = start_ns;
+  const auto mark = [&t](int index) {
+    const std::int64_t now = FlightRecorder::now_ns();
+    FlightRecorder::span(FlightCat::kOracle, index, t);
+    t = now;
+  };
+  out.push_back(timed(0, check_lockstep(plan)));
+  mark(0);
+  out.push_back(timed(1, check_transport(plan)));
+  mark(1);
+  out.push_back(timed(2, check_extension(plan, plan.rounds / 2)));
+  mark(2);
+  out.push_back(timed(
+      3, check_permutation(normalize_for_permutation(plan), rotation(plan.n))));
+  mark(3);
+  out.push_back(timed(4, check_trace_transparency(plan)));
+  mark(4);
+  out.push_back(timed(5, check_cow_transparency(plan)));
+  mark(5);
+  FlightRecorder::span(FlightCat::kTrial,
+                       static_cast<std::int64_t>(plan.trial_seed), start_ns);
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "conform/conform.h"
+#include "obs/flight.h"
 
 namespace {
 
@@ -31,7 +32,23 @@ void usage() {
                "  --lockstep FILE  run only the differential leg, print both\n"
                "                   history fingerprints\n"
                "  --transport FILE run only the socket transport leg, print\n"
-               "                   fingerprints and wire traffic stats\n";
+               "                   fingerprints, wire traffic and latency\n"
+               "  --dump-dir D     where failure artifacts (.flight dumps)\n"
+               "                   land (default $FTSS_DUMP_DIR, else \".\");\n"
+               "                   decode with ftss_trace --flight\n";
+}
+
+std::string g_dump_dir;  // set from --dump-dir before any mode runs
+
+// Dump-on-failure: snapshot the flight ring next to the reproducer output.
+void dump_failure(const char* stem, const ftss::MetricsSnapshot* metrics) {
+  const std::string prefix =
+      ftss::failure_dump_dir(g_dump_dir) + "/" + stem;
+  const std::string path = ftss::dump_failure_artifacts(prefix, metrics);
+  if (!path.empty()) {
+    std::cout << "flight dump: " << path << " (decode with ftss_trace "
+              << "--flight " << path << ")\n";
+  }
 }
 
 std::optional<ftss::TrialPlan> load_plan(const std::string& path) {
@@ -65,6 +82,7 @@ int replay(const std::string& path) {
     if (r.applicable && !r.ok()) diverged = true;
   }
   std::cout << (diverged ? "DIVERGED\n" : "CONFORMS\n");
+  if (diverged) dump_failure("ftss_conform_replay_failure", nullptr);
   return diverged ? 1 : 0;
 }
 
@@ -85,6 +103,9 @@ int lockstep(const std::string& path) {
   for (const ftss::Divergence& d : result.divergences) {
     std::cout << ftss::describe(d) << "\n";
   }
+  if (!result.divergences.empty()) {
+    dump_failure("ftss_conform_lockstep_failure", nullptr);
+  }
   return result.divergences.empty() ? 0 : 1;
 }
 
@@ -104,6 +125,17 @@ int transport(const std::string& path) {
   std::cout << std::dec << std::setfill(' ');
   std::cout << "wire: " << result.frames_sent << " frames, "
             << result.bytes_sent << " bytes\n";
+  for (const char* name : {"hub_round_ns", "wire_encode_ns",
+                           "wire_decode_ns", "transport_trial_ns"}) {
+    const auto it = result.timing.histograms.find(name);
+    if (it == result.timing.histograms.end() || it->second.count == 0) {
+      continue;
+    }
+    const ftss::HistogramData& h = it->second;
+    std::cout << name << ": n=" << h.count << " p50=" << h.percentile_upper(50)
+              << " p90=" << h.percentile_upper(90)
+              << " p99=" << h.percentile_upper(99) << " max=" << h.max << "\n";
+  }
   bool diverged = false;
   for (const ftss::TransportNote& n : result.notes) {
     std::cout << n.kind << "@" << n.round << ": " << n.detail << "\n";
@@ -114,6 +146,7 @@ int transport(const std::string& path) {
     std::cout << ftss::describe(d) << "\n";
     diverged = true;
   }
+  if (diverged) dump_failure("ftss_conform_transport_failure", &result.timing);
   return diverged ? 1 : 0;
 }
 
@@ -150,6 +183,8 @@ int main(int argc, char** argv) {
       lockstep_path = next();
     } else if (arg == "--transport") {
       transport_path = next();
+    } else if (arg == "--dump-dir") {
+      g_dump_dir = next();
     } else {
       usage();
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -162,5 +197,6 @@ int main(int argc, char** argv) {
 
   const ftss::ConformReport report = ftss::conform_sweep(config);
   std::cout << report.summary();
+  if (!report.ok()) dump_failure("ftss_conform_failure", nullptr);
   return report.ok() ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 
 #include <utility>
 
+#include "obs/profile.h"
+
 namespace ftss::net {
 
 Channel::~Channel() { close_fd(); }
@@ -15,6 +17,8 @@ Channel::Channel(Channel&& other) noexcept : fd_(other.fd_) {
   bytes_sent = other.bytes_sent;
   frames_received = other.frames_received;
   bytes_received = other.bytes_received;
+  encode_ns = std::move(other.encode_ns);
+  decode_ns = std::move(other.decode_ns);
   other.fd_ = -1;
 }
 
@@ -26,6 +30,8 @@ Channel& Channel::operator=(Channel&& other) noexcept {
     bytes_sent = other.bytes_sent;
     frames_received = other.frames_received;
     bytes_received = other.bytes_received;
+    encode_ns = std::move(other.encode_ns);
+    decode_ns = std::move(other.decode_ns);
   }
   return *this;
 }
@@ -84,7 +90,12 @@ bool Channel::read_exact(std::uint8_t* data, std::size_t size, bool* eof) {
 
 bool Channel::send_frame(wire::FrameType type, const Value& body) {
   std::vector<std::uint8_t> bytes;
-  wire::encode_frame(type, body, bytes);
+  {
+    if (encode_ns.bounds.empty()) encode_ns.bounds = latency_nanos_bounds();
+    ScopedTimer timer(&encode_ns, FlightCat::kEncode);
+    wire::encode_frame(type, body, bytes);
+    timer.set_arg(static_cast<std::int64_t>(bytes.size()));
+  }
   return send_bytes(bytes);
 }
 
@@ -115,10 +126,15 @@ Channel::RecvResult Channel::recv_frame() {
     r.error = wire::WireError::kTruncated;
     return r;
   }
-  wire::FrameDecodeResult decoded =
-      wire::decode_frame_exact(buf.data(), buf.size());
-  r.error = decoded.error;
-  r.frame = std::move(decoded.frame);
+  {
+    if (decode_ns.bounds.empty()) decode_ns.bounds = latency_nanos_bounds();
+    ScopedTimer timer(&decode_ns, FlightCat::kDecode,
+                      static_cast<std::int64_t>(buf.size()));
+    wire::FrameDecodeResult decoded =
+        wire::decode_frame_exact(buf.data(), buf.size());
+    r.error = decoded.error;
+    r.frame = std::move(decoded.frame);
+  }
   if (r.error == wire::WireError::kOk) ++frames_received;
   return r;
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "wire/frame.h"
 
 namespace ftss::net {
@@ -60,6 +61,13 @@ class Channel {
   std::int64_t bytes_sent = 0;
   std::int64_t frames_received = 0;
   std::int64_t bytes_received = 0;
+
+  // Per-channel codec phase timing (wall-clock, kLatencyNanos buckets):
+  // encode time inside send_frame, decode time inside recv_frame.  The hub
+  // folds these into TransportResult::timing — never into anything a stable
+  // fingerprint hashes (see obs/metrics.h).
+  HistogramData encode_ns;
+  HistogramData decode_ns;
 
  private:
   bool write_all(const std::uint8_t* data, std::size_t size);

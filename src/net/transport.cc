@@ -11,6 +11,7 @@
 #include "check/trial_build.h"
 #include "net/channel.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "sim/causality.h"
 #include "sim/fate_schedule.h"
 #include "sim/simulator.h"
@@ -299,6 +300,8 @@ class TransportDriver {
   std::vector<Value> final_reports_;  // per-survivor kFinal bodies
   bool any_suspects_ = false;
   int delivery_attempts_ = 0;
+  HistogramData hub_round_ns_;  // one observation per dispatched round
+  std::int64_t trial_start_ns_ = 0;
 };
 
 bool TransportDriver::send_shutdown(ProcessId p, bool end_of_run) {
@@ -526,6 +529,7 @@ void TransportDriver::resolve_bad(ProcessId dest, Round r, std::int64_t id,
     return;
   }
   pend.resolved = true;
+  FlightRecorder::instant(FlightCat::kReject, dest, code);
   // A typed decode rejection is a model-level fault, not a harness error:
   // the observer records it as a frame-corrupted send and the differ will
   // hold it against the sync leg (which believed the message delivered).
@@ -603,7 +607,11 @@ void TransportDriver::finalize_round(Round r) {
 }
 
 bool TransportDriver::run_rounds() {
+  if (hub_round_ns_.bounds.empty()) {
+    hub_round_ns_.bounds = latency_nanos_bounds();
+  }
   for (Round r = 1; r <= final_; ++r) {
+    ScopedTimer round_timer(&hub_round_ns_, FlightCat::kRound, r);
     begin_round_record(r);
     causality_.begin_round();
     for (ProcessId p = 0; p < n_; ++p) {
@@ -730,6 +738,27 @@ void TransportDriver::finish() {
     result_->frames_sent += slot.ch.frames_sent + slot.ch.frames_received;
     result_->bytes_sent += slot.ch.bytes_sent + slot.ch.bytes_received;
   }
+
+  // Fold the wall-clock side tape: hub round dispatch, hub-side codec work
+  // per channel, and the whole-leg span.  All wall_clock histograms — the
+  // stable fingerprint of any snapshot this merges into is unchanged.
+  const auto put = [this](const char* name, const HistogramData& h) {
+    if (h.count == 0) return;
+    auto [it, inserted] = result_->timing.histograms.emplace(name, h);
+    if (!inserted) it->second.merge_from(h);
+    it->second.wall_clock = true;
+  };
+  put("hub_round_ns", hub_round_ns_);
+  for (const ProcSlot& slot : slots_) {
+    put("wire_encode_ns", slot.ch.encode_ns);
+    put("wire_decode_ns", slot.ch.decode_ns);
+  }
+  HistogramData trial;
+  trial.bounds = latency_nanos_bounds();
+  trial.wall_clock = true;
+  trial.observe(FlightRecorder::now_ns() - trial_start_ns_);
+  put("transport_trial_ns", trial);
+  FlightRecorder::span(FlightCat::kTrial, plan_.trial_seed, trial_start_ns_);
 }
 
 void TransportDriver::teardown() {
@@ -746,6 +775,7 @@ void TransportDriver::teardown() {
 }
 
 void TransportDriver::run() {
+  trial_start_ns_ = FlightRecorder::now_ns();
   if (final_ < 1) {
     unsupported("plan has no rounds");
     return;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "check/plan.h"
+#include "obs/metrics.h"
 #include "sim/history.h"
 #include "wire/codec.h"
 
@@ -91,6 +92,13 @@ struct TransportResult {
   // Codec utilization across all channels, both directions.
   std::int64_t frames_sent = 0;
   std::int64_t bytes_sent = 0;
+
+  // Wall-clock phase timing, populated on supported runs: wire_encode_ns /
+  // wire_decode_ns (hub-side channel codec work), hub_round_ns (one
+  // observation per dispatched round), transport_trial_ns (whole leg).
+  // Every histogram is wall_clock-flagged, so merging this into any
+  // aggregate snapshot leaves the stable fingerprint untouched.
+  MetricsSnapshot timing;
 
   bool ok() const { return supported && notes.empty(); }
 };

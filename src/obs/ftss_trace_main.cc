@@ -16,6 +16,7 @@
 
 #include "check/explorer.h"
 #include "obs/causal_export.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/history_dump.h"
@@ -24,7 +25,12 @@ namespace {
 
 void usage() {
   std::cerr << "usage: ftss_trace --plan FILE [outputs]\n"
+               "       ftss_trace --flight FILE [--jsonl F] [--chrome F]\n"
                "  --plan FILE     replayable plan JSON (ftss_check format)\n"
+               "  --flight FILE   decode a binary flight-recorder dump (as\n"
+               "                  written on failure by ftss_check /\n"
+               "                  ftss_conform); JSONL to stdout unless\n"
+               "                  --jsonl/--chrome name output files\n"
                "  --jsonl FILE    structured JSONL event trace\n"
                "  --chrome FILE   Chrome trace_event JSON (tracing/Perfetto)\n"
                "  --dot FILE      happened-before DAG as Graphviz DOT\n"
@@ -44,10 +50,51 @@ bool write_file(const std::string& path, const std::string& contents) {
   return true;
 }
 
+// --flight mode: no simulator run, just decode the dump and convert.
+// Exit 2 with the typed wire error on any malformed/truncated file.
+int decode_flight(const std::string& flight_path, const std::string& jsonl_path,
+                  const std::string& chrome_path) {
+  std::ifstream in(flight_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "ftss_trace: cannot open " << flight_path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  const ftss::FlightDecodeResult decoded = ftss::decode_flight_dump(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  if (decoded.error != ftss::wire::WireError::kOk) {
+    std::cerr << "ftss_trace: " << flight_path << ": "
+              << ftss::wire::wire_error_name(decoded.error) << "\n";
+    return 2;
+  }
+  std::int64_t events = 0;
+  for (const ftss::FlightThreadDump& t : decoded.dump.threads) {
+    events += static_cast<std::int64_t>(t.events.size());
+  }
+  std::cerr << "flight dump: " << decoded.dump.threads.size() << " threads, "
+            << events << " events, rings_dropped "
+            << decoded.dump.rings_dropped << "\n";
+  if (!jsonl_path.empty() &&
+      !write_file(jsonl_path, ftss::flight_dump_to_jsonl(decoded.dump))) {
+    return 2;
+  }
+  if (!chrome_path.empty() &&
+      !write_file(chrome_path, ftss::flight_dump_to_chrome(decoded.dump))) {
+    return 2;
+  }
+  if (jsonl_path.empty() && chrome_path.empty()) {
+    std::cout << ftss::flight_dump_to_jsonl(decoded.dump);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string plan_path, jsonl_path, chrome_path, dot_path, metrics_path;
+  std::string plan_path, flight_path, jsonl_path, chrome_path, dot_path,
+      metrics_path;
   std::size_t ring = 0;
   bool dump = false;
 
@@ -62,6 +109,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--plan") {
       plan_path = next();
+    } else if (arg == "--flight") {
+      flight_path = next();
     } else if (arg == "--jsonl") {
       jsonl_path = next();
     } else if (arg == "--chrome") {
@@ -78,6 +127,9 @@ int main(int argc, char** argv) {
       usage();
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  }
+  if (!flight_path.empty()) {
+    return decode_flight(flight_path, jsonl_path, chrome_path);
   }
   if (plan_path.empty()) {
     usage();
@@ -148,7 +200,8 @@ int main(int argc, char** argv) {
     std::ostringstream fp;
     fp << "0x" << std::hex << result.metrics.fingerprint();
     doc["fingerprint"] = ftss::Value(fp.str());
-    doc["metrics"] = result.metrics.to_value();
+    doc["metrics"] = result.metrics.stable_value();
+    doc["timing"] = result.metrics.timing_value();
     if (!write_file(metrics_path, doc.to_string() + "\n")) return 2;
   }
 

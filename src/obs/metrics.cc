@@ -4,6 +4,46 @@
 
 namespace ftss {
 
+const std::vector<std::int64_t>& bounds_for(BoundsFamily family) {
+  switch (family) {
+    case BoundsFamily::kRounds: {
+      static const std::vector<std::int64_t> bounds{0, 1, 2, 4, 8, 16, 32};
+      return bounds;
+    }
+    case BoundsFamily::kCoterieSize: {
+      static const std::vector<std::int64_t> bounds{0, 1, 2, 4, 8,
+                                                    16, 32, 64};
+      return bounds;
+    }
+    case BoundsFamily::kLatencyNanos: {
+      // Powers of two from 64ns to 2^34 ns (~17s): sub-bucket latencies
+      // land in min/sum exactly, everything else within a 2x bucket.
+      static const std::vector<std::int64_t> bounds = [] {
+        std::vector<std::int64_t> b;
+        for (std::int64_t v = 64; v <= (std::int64_t{1} << 34); v <<= 1) {
+          b.push_back(v);
+        }
+        return b;
+      }();
+      return bounds;
+    }
+  }
+  static const std::vector<std::int64_t> empty;
+  return empty;
+}
+
+const std::vector<std::int64_t>& stabilization_latency_bounds() {
+  return bounds_for(BoundsFamily::kRounds);
+}
+
+const std::vector<std::int64_t>& coterie_size_bounds() {
+  return bounds_for(BoundsFamily::kCoterieSize);
+}
+
+const std::vector<std::int64_t>& latency_nanos_bounds() {
+  return bounds_for(BoundsFamily::kLatencyNanos);
+}
+
 void HistogramData::observe(std::int64_t v) {
   if (counts.empty()) counts.assign(bounds.size() + 1, 0);
   std::size_t b = 0;
@@ -19,6 +59,53 @@ void HistogramData::observe(std::int64_t v) {
   sum += v;
 }
 
+void HistogramData::merge_from(const HistogramData& other) {
+  wall_clock = wall_clock || other.wall_clock;
+  if (count == 0) {
+    bounds = other.bounds;
+    counts = other.counts;
+    count = other.count;
+    sum = other.sum;
+    min = other.min;
+    max = other.max;
+    return;
+  }
+  if (other.count == 0) return;
+  if (bounds == other.bounds) {
+    if (counts.empty()) counts.assign(bounds.size() + 1, 0);
+    for (std::size_t b = 0; b < counts.size() && b < other.counts.size();
+         ++b) {
+      counts[b] += other.counts[b];
+    }
+  } else {
+    // Layout mismatch: keep the union meaningful at the scalar level by
+    // degrading to the summary-only histogram (empty bucket layout).
+    bounds.clear();
+    counts.clear();
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+std::int64_t HistogramData::percentile_upper(int pct) const {
+  if (count <= 0) return 0;
+  pct = std::clamp(pct, 0, 100);
+  // Rank of the percentile observation, 1-based, ceil(pct/100 * count).
+  const std::int64_t rank =
+      std::max<std::int64_t>(1, (count * pct + 99) / 100);
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      if (b < bounds.size()) return std::min(bounds[b], max);
+      return max;  // +inf bucket: the observed max is the only bound
+    }
+  }
+  return max;  // summary-only histogram (no bucket layout)
+}
+
 Value HistogramData::to_value() const {
   Value v;
   Value::Array bs, cs;
@@ -32,6 +119,12 @@ Value HistogramData::to_value() const {
     v["min"] = Value(min);
     v["max"] = Value(max);
   }
+  if (wall_clock) {
+    v["unit"] = Value("ns");
+    v["p50"] = Value(percentile_upper(50));
+    v["p90"] = Value(percentile_upper(90));
+    v["p99"] = Value(percentile_upper(99));
+  }
   return v;
 }
 
@@ -43,42 +136,41 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   }
   for (const auto& [name, h] : other.histograms) {
     auto [it, inserted] = histograms.emplace(name, h);
-    if (inserted) continue;
-    HistogramData& mine = it->second;
-    if (mine.count == 0) {
-      mine = h;
-      continue;
-    }
-    if (h.count == 0) continue;
-    if (mine.bounds == h.bounds) {
-      if (mine.counts.empty()) mine.counts.assign(mine.bounds.size() + 1, 0);
-      for (std::size_t b = 0; b < mine.counts.size() && b < h.counts.size();
-           ++b) {
-        mine.counts[b] += h.counts[b];
-      }
-    } else {
-      // Layout mismatch: keep the union meaningful at the scalar level by
-      // degrading to the summary-only histogram (empty bucket layout).
-      mine.bounds.clear();
-      mine.counts.clear();
-    }
-    mine.min = std::min(mine.min, h.min);
-    mine.max = std::max(mine.max, h.max);
-    mine.count += h.count;
-    mine.sum += h.sum;
+    if (!inserted) it->second.merge_from(h);
   }
 }
 
-Value MetricsSnapshot::to_value() const {
+namespace {
+
+// which: 0 = everything, 1 = stable only, 2 = wall-clock only.
+Value snapshot_to_value(const MetricsSnapshot& s, int which) {
   Value v;
   Value cs, gs, hs;
-  for (const auto& [name, c] : counters) cs[name] = Value(c);
-  for (const auto& [name, g] : gauges) gs[name] = Value(g);
-  for (const auto& [name, h] : histograms) hs[name] = h.to_value();
+  if (which != 2) {
+    for (const auto& [name, c] : s.counters) cs[name] = Value(c);
+    for (const auto& [name, g] : s.gauges) gs[name] = Value(g);
+  }
+  for (const auto& [name, h] : s.histograms) {
+    if (which == 1 && h.wall_clock) continue;
+    if (which == 2 && !h.wall_clock) continue;
+    hs[name] = h.to_value();
+  }
   v["counters"] = std::move(cs);
   v["gauges"] = std::move(gs);
   v["histograms"] = std::move(hs);
   return v;
+}
+
+}  // namespace
+
+Value MetricsSnapshot::to_value() const { return snapshot_to_value(*this, 0); }
+
+Value MetricsSnapshot::stable_value() const {
+  return snapshot_to_value(*this, 1);
+}
+
+Value MetricsSnapshot::timing_value() const {
+  return snapshot_to_value(*this, 2);
 }
 
 void MetricsRegistry::add(const std::string& name, std::int64_t delta) {
@@ -97,14 +189,12 @@ void MetricsRegistry::observe(const std::string& name, std::int64_t v,
   it->second.observe(v);
 }
 
-const std::vector<std::int64_t>& stabilization_latency_bounds() {
-  static const std::vector<std::int64_t> bounds{0, 1, 2, 4, 8, 16, 32};
-  return bounds;
-}
-
-const std::vector<std::int64_t>& coterie_size_bounds() {
-  static const std::vector<std::int64_t> bounds{0, 1, 2, 4, 8, 16, 32, 64};
-  return bounds;
+void MetricsRegistry::observe_nanos(const std::string& name,
+                                    std::int64_t ns) {
+  auto [it, inserted] = snap_.histograms.emplace(name, HistogramData{});
+  if (inserted) it->second.bounds = latency_nanos_bounds();
+  it->second.wall_clock = true;
+  it->second.observe(ns);
 }
 
 void record_history_metrics(const History& h, MetricsRegistry& m) {

@@ -12,6 +12,13 @@
 //     point so equality stays exact); histogram means etc. are derived by
 //     consumers from count/sum.
 //
+// Wall-clock histograms (obs/profile.h feeds them) get one carve-out from
+// constraint 1: their *contents* are timing-dependent, so they are flagged
+// (HistogramData::wall_clock), serialized only by to_value()/timing_value()
+// and excluded from stable_value() — which is what fingerprint() hashes.
+// A profiled run therefore keeps a byte-identical stable fingerprint while
+// its snapshot dumps carry p50/p90/p99/max latency summaries.
+//
 // Merge semantics: counters add; gauges take the max (their use here is
 // high-watermarks like peak coterie size); histograms with identical bounds
 // add bucket-wise (count/sum add, min/max combine).
@@ -27,6 +34,16 @@
 
 namespace ftss {
 
+// Named bucket-bound families.  Every histogram in the system draws its
+// layout from one of these, so merge/fingerprint logic never depends on
+// which unit a histogram measures in.
+enum class BoundsFamily {
+  kRounds,        // stabilization latency: {0,1,2,4,...,32} rounds
+  kCoterieSize,   // {0,1,2,4,...,64} processes
+  kLatencyNanos,  // log-bucketed (HDR-style) powers of two, 64ns..~17s
+};
+const std::vector<std::int64_t>& bounds_for(BoundsFamily family);
+
 struct HistogramData {
   // Upper bounds of the first size() buckets; a final implicit +inf bucket
   // follows.  counts.size() == bounds.size() + 1.
@@ -36,8 +53,25 @@ struct HistogramData {
   std::int64_t sum = 0;
   std::int64_t min = 0;  // meaningful iff count > 0
   std::int64_t max = 0;
+  // True for timing histograms (nanosecond observations from wall-clock
+  // timers).  Sticky across merge; excluded from stable fingerprints.
+  bool wall_clock = false;
 
   void observe(std::int64_t v);
+
+  // The shared merge kernel (snapshot merge and ad-hoc fold sites both use
+  // it): bucket-wise add when layouts match, else degrade to the
+  // summary-only histogram (bounds/counts cleared) so the operation stays
+  // total, associative and commutative.
+  void merge_from(const HistogramData& other);
+
+  // Upper bound of the bucket containing the pct-th percentile observation
+  // (pct in [0,100]), clamped to the observed max so the +inf bucket and
+  // sparse tails report a real value.  0 when empty.  Bucket upper bounds
+  // are exact for the log-bucketed families — the standard HDR trade:
+  // percentile error bounded by bucket width.
+  std::int64_t percentile_upper(int pct) const;
+
   Value to_value() const;
 };
 
@@ -53,10 +87,17 @@ struct MetricsSnapshot {
 
   // Canonical serialization: {"counters": {...}, "gauges": {...},
   // "histograms": {name: {"bounds": [...], "counts": [...], ...}}}.
+  // Includes wall-clock histograms (with p50/p90/p99 summaries).
   Value to_value() const;
 
-  // Stable content fingerprint (Value::hash of the canonical form).
-  std::uint64_t fingerprint() const { return to_value().hash(); }
+  // to_value() minus every wall-clock histogram: the deterministic part.
+  Value stable_value() const;
+  // Only the wall-clock histograms (empty "histograms" map when none).
+  Value timing_value() const;
+
+  // Stable content fingerprint (Value::hash of the canonical *stable*
+  // form) — invariant under profiling, recorder state and machine speed.
+  std::uint64_t fingerprint() const { return stable_value().hash(); }
 };
 
 // Accumulation-side API.  Not thread-safe by design: each worker owns a
@@ -69,6 +110,9 @@ class MetricsRegistry {
   // First observation fixes the bucket bounds; later calls ignore `bounds`.
   void observe(const std::string& name, std::int64_t v,
                const std::vector<std::int64_t>& bounds);
+  // Wall-clock observation: kLatencyNanos bounds, histogram flagged
+  // wall_clock (so it stays out of the stable fingerprint).
+  void observe_nanos(const std::string& name, std::int64_t ns);
 
   const MetricsSnapshot& snapshot() const { return snap_; }
 
@@ -76,9 +120,10 @@ class MetricsRegistry {
   MetricsSnapshot snap_;
 };
 
-// Canonical bucket layouts.
+// Canonical bucket layouts (aliases into bounds_for()).
 const std::vector<std::int64_t>& stabilization_latency_bounds();  // rounds
 const std::vector<std::int64_t>& coterie_size_bounds();
+const std::vector<std::int64_t>& latency_nanos_bounds();
 
 // Fold the observer-visible facts of a recorded history into `m`:
 //   msgs_sent / msgs_delivered / msgs_dropped_{send_omission,

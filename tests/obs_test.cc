@@ -246,9 +246,102 @@ TEST(Metrics, ExplorerAggregateIsThreadCountInvariant) {
   config.jobs = 3;
   const ExplorerReport parallel = explore(config);
 
+  // The stable part (counters, gauges, round-based histograms) is
+  // byte-identical for any worker count; the wall-clock trial_ns histogram
+  // rides alongside without perturbing it.
   EXPECT_EQ(serial.metrics.fingerprint(), parallel.metrics.fingerprint());
-  EXPECT_EQ(serial.metrics.to_value(), parallel.metrics.to_value());
+  EXPECT_EQ(serial.metrics.stable_value(), parallel.metrics.stable_value());
   EXPECT_EQ(serial.metrics.counters.at("trials"), 24);
+  EXPECT_EQ(serial.metrics.histograms.at("trial_ns").count, 24);
+  EXPECT_TRUE(serial.metrics.histograms.at("trial_ns").wall_clock);
+}
+
+TEST(Metrics, FingerprintExcludesWallClockHistograms) {
+  MetricsRegistry base;
+  base.add("trials", 3);
+  base.observe("lat", 2, stabilization_latency_bounds());
+
+  MetricsRegistry timed;
+  timed.add("trials", 3);
+  timed.observe("lat", 2, stabilization_latency_bounds());
+  timed.observe_nanos("phase_ns", 1234);
+  timed.observe_nanos("phase_ns", 99999);
+
+  // Identical stable fingerprint with and without the timing histogram...
+  EXPECT_EQ(base.snapshot().fingerprint(), timed.snapshot().fingerprint());
+  EXPECT_EQ(base.snapshot().stable_value(), timed.snapshot().stable_value());
+  // ...but the full snapshot and the timing view do carry it.
+  EXPECT_TRUE(timed.snapshot().to_value().at("histograms").contains(
+      "phase_ns"));
+  EXPECT_TRUE(timed.snapshot().timing_value().at("histograms").contains(
+      "phase_ns"));
+  EXPECT_FALSE(timed.snapshot().stable_value().at("histograms").contains(
+      "phase_ns"));
+}
+
+TEST(Metrics, TimingHistogramMergeIsOrderInvariant) {
+  auto make = [](std::int64_t scale) {
+    MetricsRegistry r;
+    for (std::int64_t i = 1; i <= 6; ++i) {
+      r.observe_nanos("round_ns", i * scale);
+    }
+    return r.snapshot();
+  };
+  const MetricsSnapshot a = make(100), b = make(7777), c = make(1000000);
+
+  MetricsSnapshot left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  MetricsSnapshot bc = b;     // a + (b + c)
+  bc.merge(c);
+  MetricsSnapshot right = a;
+  right.merge(bc);
+  MetricsSnapshot rev = c;    // (c + b) + a
+  rev.merge(b);
+  rev.merge(a);
+
+  EXPECT_EQ(left.to_value(), right.to_value());
+  EXPECT_EQ(left.to_value(), rev.to_value());
+  const HistogramData& h = left.histograms.at("round_ns");
+  EXPECT_TRUE(h.wall_clock);
+  EXPECT_EQ(h.count, 18);
+  EXPECT_EQ(h.bounds, latency_nanos_bounds());  // same family: no degrade
+}
+
+TEST(Metrics, BoundsFamiliesAreSharedAndLogBucketed) {
+  EXPECT_EQ(&bounds_for(BoundsFamily::kRounds),
+            &stabilization_latency_bounds());
+  EXPECT_EQ(&bounds_for(BoundsFamily::kCoterieSize), &coterie_size_bounds());
+  EXPECT_EQ(&bounds_for(BoundsFamily::kLatencyNanos), &latency_nanos_bounds());
+  const auto& ns = latency_nanos_bounds();
+  ASSERT_GE(ns.size(), 2u);
+  EXPECT_EQ(ns.front(), 64);
+  for (std::size_t i = 1; i < ns.size(); ++i) {
+    EXPECT_EQ(ns[i], ns[i - 1] * 2);  // HDR-style: power-of-two buckets
+  }
+}
+
+TEST(Metrics, PercentileUpperBracketsObservations) {
+  HistogramData h;
+  h.bounds = latency_nanos_bounds();
+  h.wall_clock = true;
+  EXPECT_EQ(h.percentile_upper(50), 0);  // empty
+  for (int i = 0; i < 98; ++i) h.observe(100);
+  h.observe(5000);
+  h.observe(1000000);
+  // p50 lands in 100's bucket (bound 128); p99 in 5000's (8192); p100 is
+  // clamped to the observed max exactly.
+  EXPECT_EQ(h.percentile_upper(50), 128);
+  EXPECT_EQ(h.percentile_upper(99), 8192);
+  EXPECT_EQ(h.percentile_upper(100), 1000000);
+  // Serialized summaries ride in to_value for wall-clock histograms only.
+  const Value v = h.to_value();
+  EXPECT_EQ(v.at("unit").string_or(""), "ns");
+  EXPECT_EQ(v.at("p50").int_or(0), 128);
+  HistogramData rounds;
+  rounds.bounds = stabilization_latency_bounds();
+  rounds.observe(1);
+  EXPECT_FALSE(rounds.to_value().contains("p50"));
 }
 
 TEST(ChromeTrace, ParsesAsJsonWithSpansAndFlows) {
