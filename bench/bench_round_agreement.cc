@@ -51,7 +51,13 @@ Cell run_cell(int n, int f, std::int64_t magnitude, int seeds) {
       static_cast<std::size_t>(seeds), [&](std::size_t idx) {
         const auto seed = static_cast<std::uint64_t>(idx + 1);
         Rng rng(seed * 7919 + n * 131 + f);
-        SyncSimulator sim(SyncConfig{.seed = seed, .record_states = false},
+        // The Thm 3 / Def 2.4 checkers read the per-round clock, coterie
+        // and faulty columns only, so neither state snapshots nor
+        // per-message SendRecords are recorded — which is what lets the
+        // same cell runner serve the EXP19 n=1024 grid points.
+        SyncSimulator sim(SyncConfig{.seed = seed,
+                                     .record_states = false,
+                                     .record_sends = false},
                           system_of(n));
         for (ProcessId p = 0; p < n; ++p) {
           sim.corrupt_state(p,
@@ -140,6 +146,38 @@ void print_exp1(bench::JsonEmitter& json) {
   json.add_check("def24_ftss_holds_all_cells", all_ftss);
 }
 
+// EXP19 — Theorem 3 at scale: the stabilization bound is n-independent, so
+// it must keep holding verbatim at the grid sizes the scaling work opened
+// up.  Few seeds (each n=1024 seed is 40 all-to-all rounds = 4*10^7
+// resolved messages); the statistical weight lives in EXP1, this table is
+// the correctness anchor for the performance grid.
+void print_exp19(bench::JsonEmitter& json) {
+  bench::Table table(
+      "EXP19 (scale): round-agreement stabilization at grid sizes, bound = 1 round",
+      {"n", "f", "corruption", "seeds", "max stab", "mean stab", "<= bound",
+       "ftss(Def2.4) ok"});
+  const int seeds = 3;
+  bool all_bounded = true;
+  bool all_ftss = true;
+  for (int n : {256, 1024}) {
+    const int f = (n - 1) / 2;
+    const std::int64_t magnitude = 1000000;
+    Cell cell = run_cell(n, f, magnitude, seeds);
+    all_bounded &= cell.max_stab <= 1 && cell.unstable == 0;
+    all_ftss &= cell.all_ftss_ok;
+    table.add_row({bench::fmt(static_cast<std::int64_t>(n)),
+                   bench::fmt(static_cast<std::int64_t>(f)),
+                   bench::fmt(magnitude),
+                   bench::fmt(static_cast<std::int64_t>(seeds)),
+                   bench::fmt(cell.max_stab), bench::fmt(cell.mean_stab),
+                   bench::pass(cell.max_stab <= 1 && cell.unstable == 0),
+                   bench::pass(cell.all_ftss_ok)});
+  }
+  table.print();
+  json.add_check("thm3_holds_at_grid_scale", all_bounded);
+  json.add_check("def24_ftss_holds_at_grid_scale", all_ftss);
+}
+
 // Substrate timing: cost of one simulated all-to-all round.
 void BM_RoundAgreementRounds(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -152,6 +190,45 @@ void BM_RoundAgreementRounds(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 20);
 }
 BENCHMARK(BM_RoundAgreementRounds)->Arg(4)->Arg(16)->Arg(64);
+
+// EXP19 scaling grid: the same substrate at n in {256, 1024, 4096, 10000}
+// (args: n, rounds — fewer rounds at larger n so one iteration stays
+// bounded; a 10^4-process round is 10^8 messages).  History keeps the
+// per-round clock/coterie/faulty columns the scale checkers read but not
+// per-message SendRecords — at this n those are the difference between
+// megabytes and gigabytes per round.  The msgs_per_round counter is
+// deterministic; timing diffs ride on cpu_ns_per_iter as usual.
+void BM_ScaledRounds(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    SyncSimulator sim(SyncConfig{.seed = 1,
+                                 .record_states = false,
+                                 .record_sends = false},
+                      system_of(n));
+    sim.run_rounds(rounds);
+    benchmark::DoNotOptimize(sim.history().length());
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+  state.counters["msgs_per_round"] =
+      benchmark::Counter(static_cast<double>(n) * n);
+}
+BENCHMARK(BM_ScaledRounds)
+    ->Args({256, 20})
+    ->Args({1024, 20})
+    ->Unit(benchmark::kMillisecond);
+
+// The two largest grid points run exactly one iteration each: a single
+// n=10^4 iteration is ~2*10^8 resolved messages, which is plenty of signal
+// for trajectory tracking and keeps the full-grid (nightly) run bounded.
+void BM_ScaledRoundsLarge(benchmark::State& state) {
+  BM_ScaledRounds(state);
+}
+BENCHMARK(BM_ScaledRoundsLarge)
+    ->Args({4096, 5})
+    ->Args({10000, 2})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_FtssCheck(benchmark::State& state) {
   SyncSimulator sim(SyncConfig{.seed = 1, .record_states = false},
@@ -170,6 +247,7 @@ BENCHMARK(BM_FtssCheck);
 int main(int argc, char** argv) {
   ftss::bench::JsonEmitter json("round_agreement", &argc, argv);
   ftss::print_exp1(json);
+  ftss::print_exp19(json);
   benchmark::Initialize(&argc, argv);
   json.run_benchmarks();
   return json.finish();

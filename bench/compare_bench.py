@@ -4,6 +4,12 @@
 Usage:
   compare_bench.py [--tolerance 0.30] BASELINE.json FRESH.json
   compare_bench.py [--tolerance 0.30] --baseline-dir . --fresh-dir bench-fresh
+  compare_bench.py --structural --baseline-dir . --fresh-dir bench-fresh
+
+--structural skips the (noisy, runner-dependent) perf deltas and checks only
+that everything the baseline promises still exists: bench files, counters,
+and — with --all-benchmarks — individual benchmarks.  CI runs the perf
+compare non-blocking and the structural check as a real gate.
 
 Directory mode pairs files by name: every BENCH_*.json in --baseline-dir is
 compared against the file of the same name in --fresh-dir (missing fresh
@@ -12,15 +18,24 @@ files are reported and skipped — CI smoke runs only a benchmark subset).
 For every benchmark present in both files, relative deltas are reported for
 cpu_ns_per_iter and any extra counters (e.g. allocs_per_round).  A benchmark
 regresses when fresh > baseline * (1 + tolerance) on cpu_ns_per_iter or on
-an alloc counter; timing improvements and new/removed benchmarks never fail.
+an alloc counter; timing improvements never fail.
 Anything present only in the candidate — a whole bench file, a benchmark, or
 a counter on an existing benchmark (e.g. newly added latency percentiles) —
-is reported as "new" and never diffed against nothing.  Counters whose name
+is reported as "new" and never diffed against nothing.  Baseline-only
+entries are reported symmetrically as "removed", and two kinds of removal
+fail the run outright because no --benchmark_filter subset can explain
+them: a baseline bench FILE with no fresh counterpart (the bench binary
+stopped running or crashed before writing JSON), and a baseline COUNTER
+missing from a benchmark the candidate did run.  Benchmarks present only
+in the baseline are informational by default (CI smoke legitimately runs
+filtered subsets); pass --all-benchmarks for full runs (e.g. the nightly
+grid) to make those removals fail too.  Counters whose name
 marks them as wall-clock (.._ns, .._ns_p50/p99) get the wide time tolerance;
 the tight counter tolerance is reserved for deterministic work counters.
-Exit status is 1 if any regression was found, else 0.  CI wires this in as a
-non-blocking report: shared runners are noisy, so a red compare is a prompt
-to look at the numbers, not a merge gate.
+Exit status is 1 if any regression or hard removal was found, else 0.  CI
+wires the perf deltas in as a non-blocking report (shared runners are
+noisy, so a red compare is a prompt to look at the numbers, not a merge
+gate), while the removal checks gate the smoke job for real.
 """
 
 import argparse
@@ -57,11 +72,13 @@ def compare_metric(name, metric, base, fresh, tolerance, rows):
     return regressed
 
 
-def compare_files(baseline_path, fresh_path, tolerance):
+def compare_files(baseline_path, fresh_path, tolerance, all_benchmarks=False,
+                  structural=False):
     baseline = load(baseline_path)
     fresh = load(fresh_path)
     rows = []
     new_counters = []
+    removed_counters = []
     regressed = False
     # Rates derived from the timing (higher = better) are redundant with
     # cpu_ns_per_iter and would mis-diff under a growth-is-bad rule.
@@ -71,26 +88,46 @@ def compare_files(baseline_path, fresh_path, tolerance):
         f = fresh.get(name)
         if f is None:
             continue  # smoke runs exercise a filtered subset
-        regressed |= compare_metric(name, "cpu_ns_per_iter",
-                                    b.get("cpu_ns_per_iter"),
-                                    f.get("cpu_ns_per_iter"), tolerance, rows)
-        for counter in sorted(set(b) & set(f) - skip):
+        if not structural:
+            regressed |= compare_metric(name, "cpu_ns_per_iter",
+                                        b.get("cpu_ns_per_iter"),
+                                        f.get("cpu_ns_per_iter"),
+                                        tolerance, rows)
+            for counter in sorted(set(b) & set(f) - skip):
+                if isinstance(b[counter], (int, float)):
+                    counter_tol = (tolerance
+                                   if is_wall_clock_counter(counter)
+                                   else COUNTER_TOLERANCE)
+                    regressed |= compare_metric(name, counter, b[counter],
+                                                f[counter], counter_tol, rows)
+            # Candidate-only counters have no baseline to diff against:
+            # report, never fail (they become comparable once the baseline
+            # regenerates).
+            for counter in sorted(set(f) - set(b) - skip):
+                if isinstance(f[counter], (int, float)):
+                    new_counters.append((name, counter, f[counter]))
+        # Baseline-only counters on a benchmark the candidate DID run can't
+        # be a filter artifact: the instrumentation stopped reporting.  Hard
+        # failure — a silently vanished counter reads as "no regression".
+        for counter in sorted(set(b) - set(f) - skip):
             if isinstance(b[counter], (int, float)):
-                counter_tol = (tolerance if is_wall_clock_counter(counter)
-                               else COUNTER_TOLERANCE)
-                regressed |= compare_metric(name, counter, b[counter],
-                                            f[counter], counter_tol, rows)
-        # Candidate-only counters have no baseline to diff against: report,
-        # never fail (they become comparable once the baseline regenerates).
-        for counter in sorted(set(f) - set(b) - skip):
-            if isinstance(f[counter], (int, float)):
-                new_counters.append((name, counter, f[counter]))
+                removed_counters.append((name, counter, b[counter]))
+                regressed = True
     only_fresh = sorted(set(fresh) - set(baseline))
+    only_base = sorted(set(baseline) - set(fresh))
+    if all_benchmarks and only_base:
+        regressed = True
 
-    print(f"\n== {os.path.basename(baseline_path)} "
-          f"(tolerance {tolerance:.0%} time, {COUNTER_TOLERANCE:.0%} counters)")
-    if not rows:
-        print("  no overlapping benchmarks")
+    if structural:
+        print(f"\n== {os.path.basename(baseline_path)} (structural)")
+        if not removed_counters and not (all_benchmarks and only_base):
+            print("  baseline coverage intact")
+    else:
+        print(f"\n== {os.path.basename(baseline_path)} "
+              f"(tolerance {tolerance:.0%} time, "
+              f"{COUNTER_TOLERANCE:.0%} counters)")
+        if not rows:
+            print("  no overlapping benchmarks")
     width = max((len(r[0]) for r in rows), default=0)
     for name, metric, base, fr, delta, bad in rows:
         flag = "REGRESSED" if bad else ("improved" if delta < -0.05 else "ok")
@@ -98,8 +135,18 @@ def compare_files(baseline_path, fresh_path, tolerance):
               f"({delta:+7.1%})  {flag}")
     for name, counter, value in new_counters:
         print(f"  {name}: new counter {counter} = {value:g} (no baseline)")
+    for name, counter, value in removed_counters:
+        print(f"  {name}: REMOVED counter {counter} (baseline had {value:g}, "
+              f"candidate reports nothing)")
     for name in only_fresh:
         print(f"  {name}: new benchmark (no baseline)")
+    for name in only_base:
+        if all_benchmarks:
+            print(f"  {name}: REMOVED benchmark (in baseline, not run by "
+                  f"candidate; --all-benchmarks promised a full run)")
+        else:
+            print(f"  {name}: removed/filtered benchmark (in baseline, "
+                  f"not in this run)")
     return regressed
 
 
@@ -111,9 +158,16 @@ def main():
                     help="allowed relative cpu-time growth (default 0.30)")
     ap.add_argument("--baseline-dir", help="directory of committed BENCH_*.json")
     ap.add_argument("--fresh-dir", help="directory of freshly generated BENCH_*.json")
+    ap.add_argument("--all-benchmarks", action="store_true",
+                    help="this run used no --benchmark_filter, so a "
+                         "baseline-only benchmark is a removal, not a subset")
+    ap.add_argument("--structural", action="store_true",
+                    help="check baseline coverage only (files/counters/"
+                         "benchmarks still present); skip perf deltas")
     args = ap.parse_args()
 
     pairs = []
+    removed_files = []
     if args.baseline_dir or args.fresh_dir:
         if not (args.baseline_dir and args.fresh_dir):
             ap.error("--baseline-dir and --fresh-dir go together")
@@ -124,7 +178,12 @@ def main():
             if os.path.exists(fresh):
                 pairs.append((base, fresh))
             else:
-                print(f"note: no fresh run for {os.path.basename(base)}")
+                # Every CI invocation runs all bench binaries (filters trim
+                # benchmarks, never whole files), so a missing fresh file
+                # means a bench stopped running or died before writing JSON.
+                removed_files.append(os.path.basename(base))
+                print(f"REMOVED: no fresh run for {os.path.basename(base)} "
+                      f"(bench binary stopped running or crashed)")
         known = {os.path.basename(b) for b in baselines}
         for fresh in sorted(glob.glob(os.path.join(args.fresh_dir,
                                                    "BENCH_*.json"))):
@@ -136,13 +195,15 @@ def main():
     else:
         ap.error("pass BASELINE.json FRESH.json, or --baseline-dir/--fresh-dir")
 
-    regressed = False
+    regressed = bool(removed_files)
     for base, fresh in pairs:
-        regressed |= compare_files(base, fresh, args.tolerance)
+        regressed |= compare_files(base, fresh, args.tolerance,
+                                   args.all_benchmarks, args.structural)
     if regressed:
-        print("\nperformance regression beyond tolerance (see REGRESSED rows)")
+        print("\nregression: perf beyond tolerance or baseline coverage "
+              "removed (see REGRESSED/REMOVED rows)")
         return 1
-    print("\nno regressions beyond tolerance")
+    print("\nno regressions beyond tolerance, baseline coverage intact")
     return 0
 
 

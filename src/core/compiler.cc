@@ -35,11 +35,13 @@ void CompiledProcess::reset_iteration(Round c) {
 
 void CompiledProcess::begin_round(Outbox& out) {
   ++actual_round_;
-  // p sends ((STATE: p, s_p), (ROUND: p, c_p)) to all.
-  Value m;
-  m["STATE"] = s_;
-  m["ROUND"] = Value(c_);
-  out.broadcast(std::move(m));
+  // p sends ((STATE: p, s_p), (ROUND: p, c_p)) to all.  The envelope map is
+  // a member reused across rounds: COW updates it in place once nothing
+  // retains last round's copies, so steady-state rounds allocate no
+  // envelope nodes (the STATE entry itself is a refcount bump on s_).
+  msg_["STATE"] = s_;
+  msg_["ROUND"] = Value(c_);
+  out.broadcast(msg_);
 }
 
 void CompiledProcess::end_round(const std::vector<Message>& delivered) {

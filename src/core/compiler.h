@@ -70,6 +70,7 @@ class CompiledProcess : public SyncProcess {
   Round c_;
   ProcessSet suspect_;
   Value current_input_;
+  Value msg_;  // reused broadcast envelope; see begin_round
   // Per-round scratch, cleared-not-reallocated (the §2.4 filter runs every
   // round of every process; see end_round).
   ProcessSet matching_;

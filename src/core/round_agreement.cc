@@ -18,7 +18,14 @@ Value round_message(ProcessId p, Round c) {
 }  // namespace
 
 void RoundAgreementProcess::begin_round(Outbox& out) {
-  out.broadcast(round_message(self_, c_));
+  // The broadcast payload is a member reused across rounds: only the "c"
+  // entry changes, and COW semantics make the update in-place when nothing
+  // retains last round's copies (inboxes are drained every round) while
+  // cloning first when the history or an in-flight message still shares the
+  // node.  Steady-state rounds therefore build no payload nodes at all.
+  if (msg_.is_null()) msg_ = round_message(self_, c_);
+  msg_["c"] = Value(c_);
+  out.broadcast(msg_);
 }
 
 void RoundAgreementProcess::end_round(const std::vector<Message>& delivered) {
@@ -53,7 +60,9 @@ void RoundAgreementProcess::restore_state(const Value& state) {
 }
 
 void UniformRoundAgreementProcess::begin_round(Outbox& out) {
-  out.broadcast(round_message(self_, c_));
+  if (msg_.is_null()) msg_ = round_message(self_, c_);
+  msg_["c"] = Value(c_);
+  out.broadcast(msg_);
 }
 
 void UniformRoundAgreementProcess::end_round(

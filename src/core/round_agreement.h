@@ -31,6 +31,7 @@ class RoundAgreementProcess : public SyncProcess {
  private:
   ProcessId self_;
   Round c_;
+  Value msg_;  // reused broadcast payload; see begin_round
 };
 
 // A *uniform* variant used to demonstrate Theorem 2: it follows the same
@@ -57,6 +58,7 @@ class UniformRoundAgreementProcess : public SyncProcess {
   ProcessId self_;
   Round c_;
   bool halted_ = false;
+  Value msg_;  // reused broadcast payload; see begin_round
 };
 
 }  // namespace ftss

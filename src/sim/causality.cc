@@ -5,13 +5,25 @@ namespace ftss {
 CausalityTracker::CausalityTracker(int n)
     : n_(n),
       influence_(n, ProcessSet(n)),
-      influence_at_send_(n, ProcessSet(n)) {
+      influence_at_send_(n, ProcessSet(n)),
+      stale_(n),
+      full_(n),
+      cached_coterie_(n),
+      cached_correct_(n) {
   for (int p = 0; p < n_; ++p) influence_[p].insert(p);
+  // Every snapshot starts behind (influence_at_send_ is empty, influence_
+  // is {self}), so the first begin_round copies all n sets — exactly what
+  // the non-incremental version did.
+  stale_.insert_all();
+  if (n_ == 1) full_.insert(0);
 }
 
 void CausalityTracker::begin_round() {
-  // Element-wise copy into the existing sets: word stores, no allocation.
-  for (int p = 0; p < n_; ++p) influence_at_send_[p] = influence_[p];
+  // Element-wise copy of just the stale sets: word stores into the existing
+  // allocations, no per-round O(n^2) sweep once the closure stops growing.
+  stale_.for_each(
+      [this](int p) { influence_at_send_[p] = influence_[p]; });
+  stale_.clear();
 }
 
 void CausalityTracker::deliver(ProcessId sender, ProcessId dest) {
@@ -19,11 +31,18 @@ void CausalityTracker::deliver(ProcessId sender, ProcessId dest) {
 }
 
 ProcessSet CausalityTracker::coterie(const ProcessSet& correct) const {
+  if (coterie_valid_ && !closure_changed_ && correct == cached_correct_) {
+    return cached_coterie_;
+  }
   ProcessSet result(n_);
   result.insert_all();
   for (int q = 0; q < n_; ++q) {
     if (correct.contains(q)) result &= influence_[q];
   }
+  cached_coterie_ = result;
+  cached_correct_ = correct;
+  coterie_valid_ = true;
+  closure_changed_ = false;
   return result;
 }
 

@@ -10,10 +10,22 @@
 //
 // The coterie of a prefix is then { p : for all correct q, p in influence[q] }.
 //
+// Influence sets grow monotonically, which is what makes the closure cheap
+// to maintain incrementally: each delivery unions via
+// ProcessSet::or_with_changed, and only processes whose set actually gained
+// a bit are marked stale.  begin_round re-snapshots just the stale sets
+// (previously it copied all n every round), deliveries into an
+// already-full set return before touching any words, and the coterie is a
+// maintained accumulator recomputed only when some influence set changed or
+// the correct set differs from the cached one.  In the all-to-all steady
+// state every set is full after the first exchange, so per-round closure
+// cost drops from O(n^2) word ops to O(1).
+//
 // Sets are word-packed ProcessSets: the per-delivery union that runs n^2
-// times per round is O(n/64) word ORs, and the send-time snapshot handed to
-// the simulator is a reference into this tracker, not a copy — the simulator
-// only materializes a copy for messages whose delivery is jitter-delayed.
+// times per round is O(n/64) word ORs (AVX2 above 4 words), and the
+// send-time snapshot handed to the simulator is a reference into this
+// tracker, not a copy — the simulator only materializes a copy for messages
+// whose delivery is jitter-delayed.
 #pragma once
 
 #include <vector>
@@ -47,8 +59,18 @@ class CausalityTracker {
 
   // Delivery of a message whose send-time snapshot was captured earlier.
   void deliver_snapshot(const ProcessSet& sender_influence, ProcessId dest) {
-    influence_[dest] |= sender_influence;
+    if (full_.contains(dest)) return;  // already the whole universe
+    if (influence_[dest].or_with_changed(sender_influence)) {
+      stale_.insert(dest);
+      closure_changed_ = true;
+      if (influence_[dest].count() == n_) full_.insert(dest);
+    }
   }
+
+  // Is q's influence set already the whole universe?  Further deliveries to
+  // q are no-ops; the simulator's fast path uses this to skip whole
+  // delivery loops once the closure has saturated.
+  bool saturated(ProcessId q) const { return full_.contains(q); }
 
   // Does p ->_H q hold (reflexively true for p == q)?
   bool influences(ProcessId p, ProcessId q) const {
@@ -66,6 +88,18 @@ class CausalityTracker {
   // influence_[q] holds { p : p ->_H q }.
   std::vector<ProcessSet> influence_;
   std::vector<ProcessSet> influence_at_send_;
+  // Processes whose influence_ gained bits since their last
+  // influence_at_send_ snapshot; begin_round copies exactly these.
+  ProcessSet stale_;
+  // Processes whose influence_ is the full universe: deliveries to them
+  // cannot add anything and return without reading the snapshot.
+  ProcessSet full_;
+  // Coterie accumulator: valid while no influence set has changed and the
+  // correct set matches.  mutable because coterie() is logically const.
+  mutable bool closure_changed_ = true;
+  mutable bool coterie_valid_ = false;
+  mutable ProcessSet cached_coterie_;
+  mutable ProcessSet cached_correct_;
 };
 
 }  // namespace ftss

@@ -31,6 +31,40 @@ class SyncSimulator::OutboxImpl : public Outbox {
   std::vector<Message>* sink_;
 };
 
+// Fast-path outbox for rounds where every message is statically known to be
+// delivered this round (no faults manifestable, no jitter, nothing recorded
+// or traced): sends are collected into the shared round log — a broadcast
+// as ONE entry, not n fanned-out messages — and delivered after the
+// collection phase, skipping the per-message fault checks and SendRecord
+// plumbing entirely.  Deferring delivery to the end of the send phase is
+// unobservable: send-time influence snapshots are pinned for the whole
+// round by begin_round, and process code cannot read deliveries until its
+// end_round runs.
+class SyncSimulator::FastOutboxImpl : public Outbox {
+ public:
+  FastOutboxImpl(ProcessId self, SyncSimulator* sim)
+      : self_(self), n_(sim->process_count()), sim_(sim) {}
+
+  void send(ProcessId to, Value payload) override {
+    if (to < 0 || to >= n_) {
+      throw std::out_of_range("Outbox::send: bad destination");
+    }
+    sim_->fast_log_.push_back(FastSend{self_, to, std::move(payload)});
+  }
+
+  void broadcast(Value payload) override {
+    sim_->fast_log_.push_back(
+        FastSend{self_, kBroadcastDest, std::move(payload)});
+  }
+
+  int process_count() const override { return n_; }
+
+ private:
+  ProcessId self_;
+  int n_;
+  SyncSimulator* sim_;
+};
+
 SyncSimulator::SyncSimulator(SyncConfig config,
                              std::vector<std::unique_ptr<SyncProcess>> processes)
     : config_(config),
@@ -130,18 +164,40 @@ bool SyncSimulator::receive_dropped(ProcessId s, ProcessId d, Round r) {
 }
 
 void SyncSimulator::run_rounds(int k) {
+  if (config_.record_states && !config_.record_sends) {
+    throw std::logic_error(
+        "SyncConfig: record_states requires record_sends (payload capture "
+        "lives in SendRecords)");
+  }
   if (trace_ == nullptr) {
-    run_rounds_impl<false>(k);
+    if (config_.record_sends) {
+      run_rounds_impl<false, true>(k);
+    } else {
+      run_rounds_impl<false, false>(k);
+    }
   } else {
-    run_rounds_impl<true>(k);
+    if (config_.record_sends) {
+      run_rounds_impl<true, true>(k);
+    } else {
+      run_rounds_impl<true, false>(k);
+    }
   }
 }
 
-template <bool kTraced>
+template <bool kTraced, bool kRecordSends>
 void SyncSimulator::run_rounds_impl(int k) {
-  started_ = true;
   const int n = process_count();
   const std::size_t ring = in_flight_slots_.size();
+  if (!started_) {
+    started_ = true;
+    has_send_rules_.resize(static_cast<std::size_t>(n));
+    has_recv_rules_.resize(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      has_send_rules_[p] = !plans_[p].send_omissions.empty();
+      has_recv_rules_[p] = !plans_[p].receive_omissions.empty();
+      any_rules_ = any_rules_ || has_send_rules_[p] || has_recv_rules_[p];
+    }
+  }
 
   // The previous run_rounds call closed its books by recording still-in-
   // flight messages as lost; this call extends the execution, so those
@@ -193,115 +249,254 @@ void SyncSimulator::run_rounds_impl(int k) {
 
     causality_.begin_round();
 
-    // Send phase: every live, non-halted process emits its messages.
-    outgoing_.clear();
-    for (ProcessId p = 0; p < n; ++p) {
-      if (!rec.alive[p] || processes_[p]->halted()) continue;
-      OutboxImpl out(p, n, &outgoing_);
-      processes_[p]->begin_round(out);
-    }
-
     // Resolve a message at its delivery round: crash / receive-omission /
-    // delivery, recording the outcome in the current round's record.
+    // delivery, recording the outcome in the current round's record.  The
+    // recording-off instantiation repeats the branch structure without any
+    // SendRecord so that configuration never constructs (or destroys) one
+    // per message; RNG draw order is identical in both arms.
     auto resolve = [&](Message&& m, Round sent_round,
                        const ProcessSet& sender_influence,
                        std::int64_t flow_id) {
-      SendRecord sr;
-      sr.sender = m.sender;
-      sr.dest = m.dest;
-      sr.sent_round = sent_round;
-      sr.delivery_round = r;
-      if (config_.record_states) sr.payload = m.payload;
-      if (!rec.alive[m.dest]) {
-        sr.dest_crashed = true;
-        if constexpr (kTraced) {
-          trace_message(TraceEventKind::kDrop, r, m.sender, m.dest,
-                        sent_round, "dest-crashed", flow_id);
+      if constexpr (kRecordSends) {
+        SendRecord sr;
+        sr.sender = m.sender;
+        sr.dest = m.dest;
+        sr.sent_round = sent_round;
+        sr.delivery_round = r;
+        if (config_.record_states) sr.payload = m.payload;
+        if (!rec.alive[m.dest]) {
+          sr.dest_crashed = true;
+          if constexpr (kTraced) {
+            trace_message(TraceEventKind::kDrop, r, m.sender, m.dest,
+                          sent_round, "dest-crashed", flow_id);
+          }
+        } else if (has_recv_rules_[m.dest] &&
+                   receive_dropped(m.sender, m.dest, r)) {
+          sr.dropped_by_receiver = true;
+          mark_faulty(m.dest, r, "receive-omission");
+          if constexpr (kTraced) {
+            trace_message(TraceEventKind::kDrop, r, m.sender, m.dest,
+                          sent_round, "receive-omission", flow_id);
+          }
+        } else {
+          sr.delivered = true;
+          if constexpr (kTraced) {
+            trace_message(TraceEventKind::kDeliver, r, m.sender, m.dest,
+                          sent_round, "", flow_id);
+          }
+          causality_.deliver_snapshot(sender_influence, m.dest);
+          inbox_[m.dest].push_back(std::move(m));
         }
-      } else if (receive_dropped(m.sender, m.dest, r)) {
-        sr.dropped_by_receiver = true;
-        mark_faulty(m.dest, r, "receive-omission");
-        if constexpr (kTraced) {
-          trace_message(TraceEventKind::kDrop, r, m.sender, m.dest,
-                        sent_round, "receive-omission", flow_id);
-        }
+        rec.sends.push_back(std::move(sr));
       } else {
-        sr.delivered = true;
-        if constexpr (kTraced) {
-          trace_message(TraceEventKind::kDeliver, r, m.sender, m.dest,
-                        sent_round, "", flow_id);
+        if (!rec.alive[m.dest]) {
+          if constexpr (kTraced) {
+            trace_message(TraceEventKind::kDrop, r, m.sender, m.dest,
+                          sent_round, "dest-crashed", flow_id);
+          }
+        } else if (has_recv_rules_[m.dest] &&
+                   receive_dropped(m.sender, m.dest, r)) {
+          mark_faulty(m.dest, r, "receive-omission");
+          if constexpr (kTraced) {
+            trace_message(TraceEventKind::kDrop, r, m.sender, m.dest,
+                          sent_round, "receive-omission", flow_id);
+          }
+        } else {
+          if constexpr (kTraced) {
+            trace_message(TraceEventKind::kDeliver, r, m.sender, m.dest,
+                          sent_round, "", flow_id);
+          }
+          causality_.deliver_snapshot(sender_influence, m.dest);
+          inbox_[m.dest].push_back(std::move(m));
         }
-        causality_.deliver_snapshot(sender_influence, m.dest);
-        inbox_[m.dest].push_back(std::move(m));
       }
-      rec.sends.push_back(std::move(sr));
     };
 
     // Messages from earlier rounds whose delivery jitter expires now.  A
     // slot is fully drained before any message can land in it again (delay
-    // is at most max_extra_delay = ring - 1).
+    // is at most max_extra_delay = ring - 1).  This runs before the send
+    // phase — process code emits no observable events, draws no randomness
+    // and reads no history, so draining first is behavior-identical to the
+    // old drain-after-send order while letting the send phase stream.
     {
-      auto& due = in_flight_slots_[static_cast<std::size_t>(r) % ring];
-      for (auto& flight : due) {
+      FlightSlot& due = in_flight_slots_[static_cast<std::size_t>(r) % ring];
+      for (std::size_t i = 0; i < due.used; ++i) {
+        InFlight& flight = due.pool[i];
         resolve(std::move(flight.message), flight.sent_round,
                 flight.sender_influence, flight.flow_id);
       }
-      in_flight_count_ -= static_cast<int>(due.size());
-      due.clear();
+      in_flight_count_ -= static_cast<int>(due.used);
+      due.used = 0;  // entries stay constructed; re-arming recycles them
     }
 
-    // This round's sends: send-omission faults apply now; remote messages
-    // may be delayed, self-deliveries never are.
-    for (auto& m : outgoing_) {
-      std::int64_t fid = -1;
-      if constexpr (kTraced) {
-        fid = next_flow_id_++;
-        trace_message(TraceEventKind::kSend, r, m.sender, m.dest, 0, "", fid);
-      }
-      if (send_dropped(m.sender, m.dest, r)) {
-        SendRecord sr;
-        sr.sender = m.sender;
-        sr.dest = m.dest;
-        sr.sent_round = r;
-        sr.delivery_round = r;
-        if (config_.record_states) sr.payload = m.payload;
-        sr.dropped_by_sender = true;
-        mark_faulty(m.sender, r, "send-omission");
-        if constexpr (kTraced) {
-          trace_message(TraceEventKind::kDrop, r, m.sender, m.dest, r,
-                        "send-omission", fid);
+    // Can this round take the everything-delivers fast path?  Requires: no
+    // recording or tracing (nothing to emit per message), zero jitter with
+    // nothing in flight (every send resolves now), no omission rules in any
+    // plan (no drops, no RNG draws), and every process alive and unhalted
+    // at round start (the only liveness facts the send/resolve path reads).
+    // Under those facts the slow path below delivers every message in the
+    // identical sender-then-destination order with zero side channels, so
+    // the fast path is behavior-identical by construction.
+    bool fast_round = false;
+    if constexpr (!kTraced && !kRecordSends) {
+      if (config_.max_extra_delay == 0 && in_flight_count_ == 0 &&
+          !any_rules_) {
+        fast_round = true;
+        for (ProcessId p = 0; p < n; ++p) {
+          if (!rec.alive[p] || rec.halted[p]) {
+            fast_round = false;
+            break;
+          }
         }
-        rec.sends.push_back(std::move(sr));
-        continue;
-      }
-      const int delay =
-          (config_.max_extra_delay > 0 && m.sender != m.dest)
-              ? static_cast<int>(rng_.uniform(0, config_.max_extra_delay))
-              : 0;
-      if (delay == 0) {
-        resolve(std::move(m), r, causality_.send_snapshot(m.sender), fid);
-      } else {
-        in_flight_slots_[static_cast<std::size_t>(r + delay) % ring].push_back(
-            InFlight{std::move(m), r, causality_.send_snapshot(m.sender),
-                     fid});
-        ++in_flight_count_;
       }
     }
 
-    // Receive/transition phase.
-    for (ProcessId p = 0; p < n; ++p) {
+    bool fast_delivered = false;
+    if (fast_round) {
+      // Collection: each sender logs its traffic (broadcasts stored once).
+      fast_log_.clear();
+      for (ProcessId p = 0; p < n; ++p) {
+        FastOutboxImpl out(p, this);
+        processes_[p]->begin_round(out);
+      }
+      bool broadcast_only = true;
+      for (const FastSend& e : fast_log_) {
+        if (e.dest != kBroadcastDest) {
+          broadcast_only = false;
+          break;
+        }
+      }
+      if (broadcast_only) {
+        // Destination-major delivery: every destination receives the same
+        // sender-ascending broadcast sequence, so ONE n-sized scratch
+        // inbox serves all n transitions — only the 4-byte dest field is
+        // retargeted per destination, keeping the delivery working set
+        // cache-resident instead of materializing n^2 Messages.  Within a
+        // round the closure unions commute (send snapshots are pinned by
+        // begin_round), so dest-major instead of sender-major delivery
+        // leaves influence_, and therefore every later observable,
+        // unchanged.
+        fast_inbox_.clear();
+        for (FastSend& e : fast_log_) {
+          fast_inbox_.push_back(Message{e.sender, 0, std::move(e.payload)});
+        }
+        for (ProcessId q = 0; q < n; ++q) {
+          for (Message& m : fast_inbox_) m.dest = q;
+          if (!causality_.saturated(q)) {
+            for (const Message& m : fast_inbox_) {
+              causality_.deliver_snapshot(causality_.send_snapshot(m.sender),
+                                          q);
+            }
+          }
+          // A process that halted during its own begin_round still gets
+          // its deliveries counted by the closure but takes no transition,
+          // exactly as the receive phase below would treat it.
+          if (!processes_[q]->halted()) processes_[q]->end_round(fast_inbox_);
+        }
+        fast_delivered = true;
+      } else {
+        // Mixed targeted sends: replay the log in send order, streaming
+        // each delivery into the per-destination inboxes; the receive
+        // phase below runs as usual.
+        for (FastSend& e : fast_log_) {
+          const ProcessSet& snap = causality_.send_snapshot(e.sender);
+          if (e.dest == kBroadcastDest) {
+            for (ProcessId q = 0; q < n; ++q) {
+              causality_.deliver_snapshot(snap, q);
+              inbox_[q].push_back(Message{e.sender, q, e.payload});
+            }
+          } else {
+            causality_.deliver_snapshot(snap, e.dest);
+            inbox_[e.dest].push_back(
+                Message{e.sender, e.dest, std::move(e.payload)});
+          }
+        }
+      }
+    } else {
+      // Send phase, streamed sender-by-sender in id order: each live,
+      // non-halted process fills the shared outbox scratch and its messages
+      // resolve immediately (send-omission faults apply now; remote messages
+      // may be delayed, self-deliveries never are).  Message order, RNG draw
+      // order and trace order are exactly the old collect-then-resolve
+      // order's, without ever materializing all n^2 messages.
+      for (ProcessId p = 0; p < n; ++p) {
+        if (!rec.alive[p] || processes_[p]->halted()) continue;
+        outgoing_.clear();
+        OutboxImpl out(p, n, &outgoing_);
+        processes_[p]->begin_round(out);
+        for (auto& m : outgoing_) {
+          std::int64_t fid = -1;
+          if constexpr (kTraced) {
+            fid = next_flow_id_++;
+            trace_message(TraceEventKind::kSend, r, m.sender, m.dest, 0, "",
+                          fid);
+          }
+          if (has_send_rules_[m.sender] && send_dropped(m.sender, m.dest, r)) {
+            if constexpr (kRecordSends) {
+              SendRecord sr;
+              sr.sender = m.sender;
+              sr.dest = m.dest;
+              sr.sent_round = r;
+              sr.delivery_round = r;
+              if (config_.record_states) sr.payload = m.payload;
+              sr.dropped_by_sender = true;
+              rec.sends.push_back(std::move(sr));
+            }
+            mark_faulty(m.sender, r, "send-omission");
+            if constexpr (kTraced) {
+              trace_message(TraceEventKind::kDrop, r, m.sender, m.dest, r,
+                            "send-omission", fid);
+            }
+            continue;
+          }
+          const int delay =
+              (config_.max_extra_delay > 0 && m.sender != m.dest)
+                  ? static_cast<int>(rng_.uniform(0, config_.max_extra_delay))
+                  : 0;
+          if (delay == 0) {
+            resolve(std::move(m), r, causality_.send_snapshot(m.sender), fid);
+          } else {
+            FlightSlot& slot =
+                in_flight_slots_[static_cast<std::size_t>(r + delay) % ring];
+            if (slot.used < slot.pool.size()) {
+              // Recycle a drained entry: assignment reuses its ProcessSet
+              // heap words and Message storage instead of reallocating.
+              InFlight& f = slot.pool[slot.used];
+              f.sender_influence = causality_.send_snapshot(m.sender);
+              f.message = std::move(m);
+              f.sent_round = r;
+              f.flow_id = fid;
+            } else {
+              slot.pool.push_back(InFlight{std::move(m), r,
+                                           causality_.send_snapshot(m.sender),
+                                           fid});
+            }
+            ++slot.used;
+            ++in_flight_count_;
+          }
+        }
+      }
+    }
+
+    // Receive/transition phase (already folded into the destination-major
+    // loop on a fast broadcast-only round).
+    for (ProcessId p = 0; !fast_delivered && p < n; ++p) {
       auto& in = inbox_[p];
       if (!rec.alive[p] || processes_[p]->halted()) {
         in.clear();
         continue;
       }
-      // Deliveries land in send order, which is already sender-ascending in
-      // the jitter-free common case; only sort when jitter interleaved them.
-      const auto by_sender = [](const Message& a, const Message& b) {
-        return a.sender < b.sender;
-      };
-      if (!std::is_sorted(in.begin(), in.end(), by_sender)) {
-        std::stable_sort(in.begin(), in.end(), by_sender);
+      // Deliveries land in send order, which with zero jitter is strictly
+      // sender-ascending (the send phase streams senders in id order); only
+      // a jittered configuration can interleave rounds, so only then does
+      // the order need checking at all.
+      if (config_.max_extra_delay > 0) {
+        const auto by_sender = [](const Message& a, const Message& b) {
+          return a.sender < b.sender;
+        };
+        if (!std::is_sorted(in.begin(), in.end(), by_sender)) {
+          std::stable_sort(in.begin(), in.end(), by_sender);
+        }
       }
       processes_[p]->end_round(in);
       in.clear();
@@ -371,25 +566,29 @@ void SyncSimulator::run_rounds_impl(int k) {
   // honest record of the observer closing and reopening the run.  Slots are
   // walked in delivery-round order (the order the old sorted map yielded).
   if (k > 0 && in_flight_count_ > 0 && !history_.rounds.empty()) {
-    auto& sends = history_.rounds.back().sends;
+    [[maybe_unused]] auto& sends = history_.rounds.back().sends;
     for (std::size_t d = 1; d < ring; ++d) {
       const Round delivery_round = round_ + static_cast<Round>(d);
-      for (const auto& flight :
-           in_flight_slots_[static_cast<std::size_t>(delivery_round) % ring]) {
-        SendRecord sr;
-        sr.sender = flight.message.sender;
-        sr.dest = flight.message.dest;
-        sr.sent_round = flight.sent_round;
-        sr.delivery_round = delivery_round;
-        if (config_.record_states) sr.payload = flight.message.payload;
-        sr.lost_in_flight = true;
+      const FlightSlot& slot =
+          in_flight_slots_[static_cast<std::size_t>(delivery_round) % ring];
+      for (std::size_t i = 0; i < slot.used; ++i) {
+        const InFlight& flight = slot.pool[i];
+        if constexpr (kRecordSends) {
+          SendRecord sr;
+          sr.sender = flight.message.sender;
+          sr.dest = flight.message.dest;
+          sr.sent_round = flight.sent_round;
+          sr.delivery_round = delivery_round;
+          if (config_.record_states) sr.payload = flight.message.payload;
+          sr.lost_in_flight = true;
+          sends.push_back(std::move(sr));
+          ++flushed_in_flight_;
+        }
         if constexpr (kTraced) {
           trace_message(TraceEventKind::kDrop, round_, flight.message.sender,
                         flight.message.dest, flight.sent_round,
                         "in-flight-at-end", flight.flow_id);
         }
-        sends.push_back(std::move(sr));
-        ++flushed_in_flight_;
       }
     }
   }

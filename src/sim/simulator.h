@@ -23,6 +23,13 @@ struct SyncConfig {
   // Record full state snapshots into the history (disable for large
   // benchmark sweeps where only clocks/coterie matter).
   bool record_states = true;
+  // Record per-message SendRecords into the history.  The n-scaling bench
+  // grid disables this: at n=10^4 a single all-to-all round is 10^8
+  // SendRecords (~7 GB), and the scale checkers only need the per-round
+  // clock/coterie/faulty columns.  The audit oracles and every pinned
+  // fingerprint run with it on (the default).  record_states=true implies
+  // send payload capture and therefore requires record_sends=true.
+  bool record_sends = true;
   // "Synchronous, but not perfectly synchronized" (§3's opening remark):
   // each REMOTE message is delayed by a uniformly random 0..max_extra_delay
   // additional rounds (0 = the perfectly synchronous model, delivery at the
@@ -69,9 +76,24 @@ class SyncSimulator {
 
  private:
   class OutboxImpl;
+  class FastOutboxImpl;
 
   bool send_dropped(ProcessId s, ProcessId d, Round r);
   bool receive_dropped(ProcessId s, ProcessId d, Round r);
+
+  // One fast-path send-phase log entry: a broadcast is stored once (dest =
+  // kBroadcastDest) instead of being fanned out into n Messages at collect
+  // time.  At n = 10^3+ the fan-out itself is the bottleneck — n^2 Message
+  // constructions scattered over n growing inboxes is tens of MB of
+  // cache-hostile traffic per round — so the fast path keeps the log
+  // n-sized and delivers destination-major through one shared scratch
+  // inbox that stays cache-resident.
+  static constexpr ProcessId kBroadcastDest = -1;
+  struct FastSend {
+    ProcessId sender = 0;
+    ProcessId dest = kBroadcastDest;
+    Value payload;
+  };
 
   // A message delayed past its sending round, together with the sender's
   // happened-before snapshot at send time (needed for correct causality).
@@ -93,11 +115,13 @@ class SyncSimulator {
                      ProcessId dest, Round sent_round, const char* cause,
                      std::int64_t flow_id);
 
-  // run_rounds dispatches on whether a sink is attached; the kTraced=false
-  // instantiation contains no emission code at all (if constexpr), so the
-  // tracing-off hot loop is bit-for-bit the untraced simulator's
-  // (bench_overhead's BM_TracedRoundAgreement/0 guards the claim).
-  template <bool kTraced>
+  // run_rounds dispatches on whether a sink is attached and whether send
+  // records are kept; each instantiation contains no code for the disabled
+  // planes at all (if constexpr), so the tracing-off hot loop is bit-for-bit
+  // the untraced simulator's (bench_overhead's BM_TracedRoundAgreement/0
+  // guards the claim) and the record_sends-off loop carries no SendRecord
+  // construction.
+  template <bool kTraced, bool kRecordSends>
   void run_rounds_impl(int k);
 
   SyncConfig config_;
@@ -110,14 +134,42 @@ class SyncSimulator {
   // Message plane: delivery slot ring, indexed by delivery round modulo
   // max_extra_delay + 1.  A message delayed by d in [1, max_extra_delay]
   // lands d slots ahead of the slot being drained this round, so a slot is
-  // always fully drained before anything new lands in it.  Slots are
-  // cleared, never deallocated: after warm-up the steady-state round loop
-  // performs no message-plane allocation at all.
-  std::vector<std::vector<InFlight>> in_flight_slots_;
+  // always fully drained before anything new lands in it.  Each slot is an
+  // arena of InFlight entries recycled in place: draining resets `used`
+  // without destroying entries, so re-arming a slot reuses the previous
+  // occupant's heap (ProcessSet words, payload nodes) instead of
+  // reallocating it — after warm-up the steady-state round loop performs no
+  // message-plane allocation at all.
+  struct FlightSlot {
+    std::vector<InFlight> pool;  // high-water storage, entries live forever
+    std::size_t used = 0;        // live entries are pool[0..used)
+  };
+  std::vector<FlightSlot> in_flight_slots_;
   int in_flight_count_ = 0;  // total messages currently in flight
-  // Per-round scratch, likewise cleared-not-reallocated.
+  // Per-sender outbox scratch, cleared-not-reallocated: the send phase
+  // streams one sender's messages to resolution before the next sender
+  // runs, so peak scratch is O(n) messages, not the O(n^2) a whole-round
+  // outgoing buffer held.
   std::vector<Message> outgoing_;
   std::vector<std::vector<Message>> inbox_;  // per destination
+  // Fast-path round log and shared delivery scratch (see FastSend); both
+  // keep their capacity across rounds.
+  std::vector<FastSend> fast_log_;
+  std::vector<Message> fast_inbox_;
+  // Per-process omission-rule presence, frozen at the first run_rounds call:
+  // lets the per-message path skip the rule-scan calls entirely for the
+  // (typical) processes with no omission faults planned.  Behavior-neutral:
+  // an empty rule list never draws randomness and never drops.
+  std::vector<std::uint8_t> has_send_rules_;
+  std::vector<std::uint8_t> has_recv_rules_;
+  // Any process at all has omission rules.  When false (with recording and
+  // tracing off, zero jitter, and every process alive and unhalted this
+  // round) the send phase takes a fast path that streams each delivery
+  // straight into the destination inbox — no per-message fault checks, no
+  // outbox scratch, no SendRecord plumbing.  Behavior-identical: on such a
+  // round every message is delivered, in the same sender-then-dest order,
+  // with no RNG draws and nothing recorded either way.
+  bool any_rules_ = false;
   ProcessSet correct_;  // non-manifested processes, rebuilt each round
   // Synthetic lost_in_flight records appended to the final round's sends
   // when run_rounds returned with messages still in flight; retracted (and

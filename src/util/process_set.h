@@ -21,6 +21,8 @@
 #include <iterator>
 #include <vector>
 
+#include "util/process_set_simd.h"
+
 namespace ftss {
 
 class ProcessSet {
@@ -111,6 +113,7 @@ class ProcessSet {
 
   int count() const {
     const std::uint64_t* w = words();
+    if (use_simd()) return detail::ps_popcount_avx2(w, nwords_);
     int c = 0;
     for (int i = 0; i < nwords_; ++i) c += std::popcount(w[i]);
     return c;
@@ -128,20 +131,45 @@ class ProcessSet {
     assert(n_ == other.n_);
     std::uint64_t* w = words();
     const std::uint64_t* o = other.words();
+    if (use_simd()) {
+      detail::ps_or_avx2(w, o, nwords_);
+      return *this;
+    }
     for (int i = 0; i < nwords_; ++i) w[i] |= o[i];
     return *this;
+  }
+
+  // *this |= other, reporting whether any bit was newly set.  This is what
+  // lets the causality tracker maintain per-process dirty bits from actual
+  // deliveries instead of re-copying every influence set every round.
+  bool or_with_changed(const ProcessSet& other) {
+    assert(n_ == other.n_);
+    std::uint64_t* w = words();
+    const std::uint64_t* o = other.words();
+    if (use_simd()) return detail::ps_or_changed_avx2(w, o, nwords_);
+    std::uint64_t diff = 0;
+    for (int i = 0; i < nwords_; ++i) {
+      diff |= o[i] & ~w[i];
+      w[i] |= o[i];
+    }
+    return diff != 0;
   }
 
   ProcessSet& operator&=(const ProcessSet& other) {
     assert(n_ == other.n_);
     std::uint64_t* w = words();
     const std::uint64_t* o = other.words();
+    if (use_simd()) {
+      detail::ps_and_avx2(w, o, nwords_);
+      return *this;
+    }
     for (int i = 0; i < nwords_; ++i) w[i] &= o[i];
     return *this;
   }
 
   friend bool operator==(const ProcessSet& a, const ProcessSet& b) {
     if (a.n_ != b.n_) return false;
+    if (a.use_simd()) return detail::ps_equal_avx2(a.words(), b.words(), a.nwords_);
     return std::memcmp(a.words(), b.words(),
                        sizeof(std::uint64_t) * a.nwords_) == 0;
   }
@@ -192,11 +220,14 @@ class ProcessSet {
       advance_to_member();
       return *this;
     }
+    // Bound to the owning set: iterators into two different sets never
+    // compare equal, even at the same position.  (Comparing pos_ alone made
+    // e.g. `a.begin() == b.begin()` vacuously true for equally-sized sets.)
     friend bool operator==(const const_iterator& a, const const_iterator& b) {
-      return a.pos_ == b.pos_;
+      return a.set_ == b.set_ && a.pos_ == b.pos_;
     }
     friend bool operator!=(const const_iterator& a, const const_iterator& b) {
-      return a.pos_ != b.pos_;
+      return !(a == b);
     }
 
    private:
@@ -244,6 +275,11 @@ class ProcessSet {
   const std::uint64_t* words() const {
     return heap_ != nullptr ? heap_ : inline_;
   }
+
+  // Inline-capacity sets (n <= 128) stay on the scalar loops: at 1-2 words
+  // the vector setup costs more than it saves.  Heap sets of 4+ words (the
+  // large-n grid) take the AVX2 kernels when compiled in and supported.
+  bool use_simd() const { return detail::kPsUseAvx2 && nwords_ >= 4; }
 
   // Zero the bits at and beyond n in the last word, so equality/hash are
   // content-only and flip_all/insert_all stay within the universe.

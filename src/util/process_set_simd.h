@@ -1,0 +1,131 @@
+// Vector kernels for ProcessSet word algebra.
+//
+// ProcessSet is word-packed, so union/intersect/popcount/equality are loops
+// over uint64 words.  For universes beyond 128 processes (3+ words, i.e.
+// heap-backed sets) those loops are the hottest instructions in large-n
+// rounds: every delivered message unions one influence snapshot, and the
+// coterie intersects n sets per recompute.  This header provides AVX2
+// versions compiled via the `target` function attribute — no global -mavx2,
+// so the rest of the binary stays baseline x86-64 — selected once at startup
+// with __builtin_cpu_supports.  Configuring with -DFTSS_AVX2=OFF defines
+// FTSS_NO_AVX2 and removes the vector path entirely (the CI scalar leg),
+// as does building for a non-x86 target.
+//
+// hash() deliberately has no kernel here: it stays the byte-at-a-time
+// scalar FNV-1a in process_set.h, so every pinned fingerprint is identical
+// whichever path is compiled in.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) && !defined(FTSS_NO_AVX2) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define FTSS_PS_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define FTSS_PS_HAVE_AVX2 0
+#endif
+
+namespace ftss::detail {
+
+#if FTSS_PS_HAVE_AVX2
+
+__attribute__((target("avx2"))) inline void ps_or_avx2(
+    std::uint64_t* w, const std::uint64_t* o, int nwords) {
+  int i = 0;
+  for (; i + 4 <= nwords; i += 4) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<__m256i*>(w + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(o + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i),
+                        _mm256_or_si256(a, b));
+  }
+  for (; i < nwords; ++i) w[i] |= o[i];
+}
+
+__attribute__((target("avx2"))) inline void ps_and_avx2(
+    std::uint64_t* w, const std::uint64_t* o, int nwords) {
+  int i = 0;
+  for (; i + 4 <= nwords; i += 4) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<__m256i*>(w + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(o + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i),
+                        _mm256_and_si256(a, b));
+  }
+  for (; i < nwords; ++i) w[i] &= o[i];
+}
+
+// dst |= src, returning whether any bit was newly set (the incremental
+// closure's dirty signal).  The diff accumulates in a vector register; one
+// testz at the end decides.
+__attribute__((target("avx2"))) inline bool ps_or_changed_avx2(
+    std::uint64_t* w, const std::uint64_t* o, int nwords) {
+  __m256i diff = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 4 <= nwords; i += 4) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<__m256i*>(w + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(o + i));
+    diff = _mm256_or_si256(diff, _mm256_andnot_si256(a, b));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i),
+                        _mm256_or_si256(a, b));
+  }
+  std::uint64_t tail = 0;
+  for (; i < nwords; ++i) {
+    tail |= o[i] & ~w[i];
+    w[i] |= o[i];
+  }
+  return !_mm256_testz_si256(diff, diff) || tail != 0;
+}
+
+// Baseline x86-64 codegen lowers std::popcount to a bit-twiddling sequence;
+// inside a popcnt-targeted function it is the single POPCNT instruction.
+// (Every AVX2 machine has POPCNT.)
+__attribute__((target("avx2,popcnt"))) inline int ps_popcount_avx2(
+    const std::uint64_t* w, int nwords) {
+  int c = 0;
+  for (int i = 0; i < nwords; ++i) {
+    c += static_cast<int>(__builtin_popcountll(w[i]));
+  }
+  return c;
+}
+
+__attribute__((target("avx2"))) inline bool ps_equal_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, int nwords) {
+  int i = 0;
+  for (; i + 4 <= nwords; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i neq = _mm256_xor_si256(x, y);
+    if (!_mm256_testz_si256(neq, neq)) return false;
+  }
+  for (; i < nwords; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+// One dynamic check at startup; afterwards a plain load.  false on machines
+// without AVX2, so the scalar loops in process_set.h keep running there.
+inline const bool kPsUseAvx2 = __builtin_cpu_supports("avx2") != 0;
+
+#else
+
+inline constexpr bool kPsUseAvx2 = false;
+
+inline void ps_or_avx2(std::uint64_t*, const std::uint64_t*, int) {}
+inline void ps_and_avx2(std::uint64_t*, const std::uint64_t*, int) {}
+inline bool ps_or_changed_avx2(std::uint64_t*, const std::uint64_t*, int) {
+  return false;
+}
+inline int ps_popcount_avx2(const std::uint64_t*, int) { return 0; }
+inline bool ps_equal_avx2(const std::uint64_t*, const std::uint64_t*, int) {
+  return false;
+}
+
+#endif  // FTSS_PS_HAVE_AVX2
+
+}  // namespace ftss::detail

@@ -23,13 +23,13 @@ int type_rank(const Value& v) {
 }
 }  // namespace
 
-const Value& Value::at(const std::string& key) const {
+const Value& Value::at(std::string_view key) const {
   if (!is_map()) return kNull;
   auto it = as_map().find(key);
   return it == as_map().end() ? kNull : it->second;
 }
 
-bool Value::contains(const std::string& key) const {
+bool Value::contains(std::string_view key) const {
   return is_map() && as_map().count(key) > 0;
 }
 

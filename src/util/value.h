@@ -40,7 +40,10 @@ namespace ftss {
 class Value {
  public:
   using Array = std::vector<Value>;
-  using Map = std::map<std::string, Value>;
+  // Transparent comparator so the hot-path tag reads (at("c"), at("ROUND"))
+  // probe with a string_view instead of materializing a std::string per
+  // lookup; ordering and iteration are exactly std::less<std::string>'s.
+  using Map = std::map<std::string, Value, std::less<>>;
 
   Value() = default;
   Value(bool b) : v_(b) {}                        // NOLINT(google-explicit-constructor)
@@ -90,8 +93,8 @@ class Value {
   }
 
   // Map convenience: value at `key`, or null Value if absent / not a map.
-  const Value& at(const std::string& key) const;
-  bool contains(const std::string& key) const;
+  const Value& at(std::string_view key) const;
+  bool contains(std::string_view key) const;
   // Mutating map access; converts a non-map value into an empty map first
   // (used when repairing corrupted state in stabilizing protocols).
   Value& operator[](const std::string& key);

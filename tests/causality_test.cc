@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "sim/simulator.h"
 #include "test_util.h"
+#include "util/rng.h"
 
 namespace ftss {
 namespace {
@@ -81,6 +85,104 @@ TEST(Causality, FaultyProcessCanBeCoterieMember) {
   t.deliver(1, 0);
   auto cot = t.coterie(ProcessSet::of_bools({true, true, false}));
   EXPECT_TRUE(cot.contains(2));
+}
+
+// Differential test for the incremental closure: the dirty-bit tracker must
+// agree with a from-scratch reference model (per-round snapshot copies,
+// full recomputation of the coterie) on random delivery patterns —
+// including repeated coterie() calls against changing correct sets, which
+// exercises the cached-accumulator invalidation paths.
+TEST(Causality, IncrementalClosureMatchesNaiveModel) {
+  const int n = 9;
+  Rng rng(0xca05a1ULL);
+  CausalityTracker t(n);
+  std::vector<std::set<int>> influence(n), at_send(n);
+  for (int p = 0; p < n; ++p) influence[p].insert(p);
+
+  const auto naive_coterie = [&](const ProcessSet& correct) {
+    ProcessSet cot(n);
+    for (int p = 0; p < n; ++p) {
+      bool in_all = true;
+      for (int q = 0; q < n; ++q) {
+        if (correct.contains(q) && !influence[q].count(p)) in_all = false;
+      }
+      if (in_all) cot.insert(p);
+    }
+    return cot;
+  };
+
+  for (int round = 0; round < 12; ++round) {
+    t.begin_round();
+    at_send = influence;
+    for (int d = 0; d < 30; ++d) {
+      const auto s = static_cast<ProcessId>(rng.uniform(0, n - 1));
+      const auto q = static_cast<ProcessId>(rng.uniform(0, n - 1));
+      t.deliver(s, q);
+      influence[q].insert(at_send[s].begin(), at_send[s].end());
+    }
+    for (int p = 0; p < n; ++p) {
+      for (int q = 0; q < n; ++q) {
+        ASSERT_EQ(t.influences(p, q), influence[q].count(p) > 0)
+            << "round=" << round << " p=" << p << " q=" << q;
+      }
+    }
+    // Several coterie queries per round: repeated same correct set (cache
+    // hit must match), then randomized correct sets (cache rebuild).
+    ProcessSet all(n);
+    all.insert_all();
+    ASSERT_EQ(t.coterie(all), naive_coterie(all)) << "round=" << round;
+    ASSERT_EQ(t.coterie(all), naive_coterie(all)) << "round=" << round;
+    for (int k = 0; k < 3; ++k) {
+      ProcessSet correct(n);
+      for (int q = 0; q < n; ++q) {
+        if (rng.chance(0.8)) correct.insert(q);
+      }
+      ASSERT_EQ(t.coterie(correct), naive_coterie(correct))
+          << "round=" << round << " k=" << k;
+    }
+  }
+}
+
+// The cached coterie must be invalidated by new deliveries AND by a change
+// of the correct set — and must keep answering correctly once every
+// influence set is the full universe (the steady-state fast path).
+TEST(Causality, CoterieCacheInvalidation) {
+  CausalityTracker t(3);
+  ProcessSet all(3);
+  all.insert_all();
+
+  t.begin_round();
+  t.deliver(0, 1);
+  t.deliver(0, 2);
+  const ProcessSet first = t.coterie(all);
+  EXPECT_TRUE(first.contains(0));
+  EXPECT_FALSE(first.contains(1));
+  EXPECT_EQ(t.coterie(all), first);  // cached: same correct set, no change
+
+  // New delivery next round: 1's round-1 influence ({0,1}) reaches 0 and 2.
+  t.begin_round();
+  t.deliver(1, 0);
+  t.deliver(1, 2);
+  const ProcessSet second = t.coterie(all);
+  EXPECT_TRUE(second.contains(1)) << "cache must invalidate on delivery";
+
+  // Same closure, different correct set: cache keyed on the correct set.
+  ProcessSet just01 = ProcessSet::of_bools({true, true, false});
+  const ProcessSet third = t.coterie(just01);
+  EXPECT_TRUE(third.contains(0));
+  EXPECT_TRUE(third.contains(1));
+  EXPECT_EQ(t.coterie(all), second) << "flipping back must not stick";
+
+  // Saturate every influence set; deliveries into full sets are no-ops and
+  // the coterie must stabilize at everyone.
+  for (int r = 0; r < 3; ++r) {
+    t.begin_round();
+    for (ProcessId s = 0; s < 3; ++s) {
+      for (ProcessId q = 0; q < 3; ++q) t.deliver(s, q);
+    }
+  }
+  EXPECT_EQ(t.coterie(all), all);
+  EXPECT_EQ(t.coterie(all), all);
 }
 
 TEST(Causality, CoterieInFullCommunicationIsEveryone) {

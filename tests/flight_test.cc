@@ -195,6 +195,75 @@ TEST_F(FlightTest, JsonlLinesAllParse) {
   EXPECT_GE(parsed, 3);  // meta line + thread line + >= 1 event
 }
 
+// Regression for the FTSS_FLIGHT=0 dump-on-failure path: a disabled
+// recorder yields an EMPTY dump, and that empty dump must still be a valid
+// "FTFR" artifact — it encodes, decodes with the same decoder ftss_trace
+// --flight uses, and renders to JSONL whose only line is the meta object
+// (zero threads, zero rings_dropped).  A dump written with recording off
+// must never be a 0-byte or truncated file that the decode tooling then
+// reports as corrupt.
+TEST_F(FlightTest, DisabledRecorderDumpEncodesToValidEmptyArtifact) {
+  FlightRecorder& r = FlightRecorder::global();
+  r.set_enabled(false);
+  r.reset();
+  FlightRecorder::instant(FlightCat::kMark, 1, 2);  // must not be recorded
+
+  const FlightDump d = r.dump();
+  EXPECT_TRUE(d.threads.empty());
+
+  std::vector<std::uint8_t> bytes;
+  encode_flight_dump(d, bytes);
+  ASSERT_FALSE(bytes.empty());  // a real header, not an empty file
+  const FlightDecodeResult back =
+      decode_flight_dump(bytes.data(), bytes.size());
+  ASSERT_EQ(back.error, wire::WireError::kOk);
+  EXPECT_TRUE(back.dump.threads.empty());
+
+  // JSONL: exactly the meta line, parseable, schema-tagged, zero threads.
+  const std::string jsonl = flight_dump_to_jsonl(back.dump);
+  std::istringstream lines(jsonl);
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    const auto v = Value::parse(line);
+    ASSERT_TRUE(v.has_value()) << line;
+    if (parsed == 0) {
+      EXPECT_EQ(v->at("schema").as_string(), "ftss-flight-jsonl-v1");
+      EXPECT_EQ(v->at("threads").as_int(), 0);
+      EXPECT_EQ(v->at("rings_dropped").as_int(), 0);
+    }
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 1);
+
+  // Chrome rendering of the empty dump is a valid trace with no events.
+  const auto trace = Value::parse(flight_dump_to_chrome(back.dump));
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->at("traceEvents").size(), 0u);
+}
+
+// Same property end to end through the CLI failure path: with recording
+// disabled (what FTSS_FLIGHT=0 arranges in main), dump_failure_artifacts
+// must still write a decodable .flight file rather than skipping or
+// corrupting the artifact — `ftss_trace --flight` on it exits 0 with empty
+// JSONL instead of "corrupt dump".
+TEST_F(FlightTest, DumpFailureArtifactsWithRecorderDisabledIsDecodable) {
+  FlightRecorder& r = FlightRecorder::global();
+  r.set_enabled(false);
+  r.reset();
+
+  const std::string prefix = ::testing::TempDir() + "flight_disabled_dump";
+  const std::string flight_path = dump_failure_artifacts(prefix, nullptr);
+  ASSERT_EQ(flight_path, prefix + ".flight");
+
+  const std::vector<std::uint8_t> bytes = read_binary(flight_path);
+  ASSERT_FALSE(bytes.empty());
+  const FlightDecodeResult decoded =
+      decode_flight_dump(bytes.data(), bytes.size());
+  ASSERT_EQ(decoded.error, wire::WireError::kOk);
+  EXPECT_TRUE(decoded.dump.threads.empty());
+}
+
 // The acceptance path: a deliberately corrupted transport frame forces a
 // typed rejection; the failure artifacts must include a flight dump that
 // decodes (same decoder ftss_trace --flight uses) into a Chrome trace with

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/process_set.h"
+#include "util/rng.h"
 
 namespace ftss {
 namespace {
@@ -175,6 +176,134 @@ TEST(ProcessSet, InlineToHeapBoundary) {
   ProcessSet moved = std::move(copy);
   EXPECT_EQ(moved.count(), 4);
   EXPECT_EQ(moved.universe(), 129);
+}
+
+// Randomized property test: a ProcessSet pair and a std::set pair execute
+// the same mixed op sequence (insert_all / flip_all / point ops / |= / &= /
+// or_with_changed) and must agree after every step.  The n grid brackets
+// both word boundaries (63/64/65) and the inline->heap boundary
+// (127/128/129), where tail-mask and storage bugs live.
+TEST(ProcessSet, MixedOpSequencesMatchReferenceModel) {
+  for (const int n : {63, 64, 65, 127, 128, 129}) {
+    Rng rng(0xfeed5eedULL + static_cast<std::uint64_t>(n));
+    ProcessSet a(n), b(n);
+    std::set<int> ra, rb;
+    const auto check = [&](const char* op, int step) {
+      ASSERT_EQ(to_vector(a), std::vector<int>(ra.begin(), ra.end()))
+          << "n=" << n << " step=" << step << " after " << op;
+      ASSERT_EQ(a.count(), static_cast<int>(ra.size()))
+          << "n=" << n << " step=" << step << " after " << op;
+      ASSERT_EQ(a.empty(), ra.empty());
+      ASSERT_EQ(a == b, ra == rb) << "n=" << n << " step=" << step;
+    };
+    for (int step = 0; step < 400; ++step) {
+      const int p = static_cast<int>(rng.uniform(0, n - 1));
+      switch (rng.uniform(0, 7)) {
+        case 0:
+          a.insert(p);
+          ra.insert(p);
+          check("insert", step);
+          break;
+        case 1:
+          a.erase(p);
+          ra.erase(p);
+          check("erase", step);
+          break;
+        case 2:
+          a.insert_all();
+          for (int q = 0; q < n; ++q) ra.insert(q);
+          check("insert_all", step);
+          break;
+        case 3: {
+          a.flip_all();
+          std::set<int> flipped;
+          for (int q = 0; q < n; ++q) {
+            if (!ra.count(q)) flipped.insert(q);
+          }
+          ra = std::move(flipped);
+          check("flip_all", step);
+          break;
+        }
+        case 4:
+          a |= b;
+          ra.insert(rb.begin(), rb.end());
+          check("|=", step);
+          break;
+        case 5: {
+          a &= b;
+          std::set<int> both;
+          for (const int q : ra) {
+            if (rb.count(q)) both.insert(q);
+          }
+          ra = std::move(both);
+          check("&=", step);
+          break;
+        }
+        case 6: {
+          // or_with_changed == |= plus a "did any bit turn on" report.
+          bool model_changed = false;
+          for (const int q : rb) model_changed |= ra.insert(q).second;
+          ASSERT_EQ(a.or_with_changed(b), model_changed)
+              << "n=" << n << " step=" << step;
+          check("or_with_changed", step);
+          break;
+        }
+        default:
+          b.insert(p);
+          rb.insert(p);
+          ASSERT_EQ(b.contains(p), rb.count(p) > 0);
+          break;
+      }
+    }
+  }
+}
+
+// Self-assignment and self-move-assignment must be no-ops for both storage
+// layouts (the heap path frees and reallocates on universe change — aliased
+// source and destination is the classic way that goes wrong).
+TEST(ProcessSet, SelfAssignmentIsANoOp) {
+  for (const int n : {64, 129}) {  // inline and heap layouts
+    ProcessSet s = make_set(n, {0, 5, n - 1});
+    const ProcessSet want = s;
+    ProcessSet& alias = s;  // defeat -Wself-assign/-Wself-move diagnostics
+    s = alias;
+    EXPECT_EQ(s, want) << "copy self-assign, n=" << n;
+    s = std::move(alias);
+    EXPECT_EQ(s, want) << "move self-assign, n=" << n;
+    EXPECT_EQ(s.universe(), n);
+    EXPECT_EQ(s.count(), 3);
+  }
+}
+
+// or_with_changed reports exactly whether the union added members, and the
+// resulting set is the plain union; a second application is a no-op.
+TEST(ProcessSet, OrWithChangedReportsGrowth) {
+  for (const int n : {63, 65, 129}) {
+    ProcessSet acc = make_set(n, {0, 1});
+    const ProcessSet inc = make_set(n, {1, n - 1});
+    EXPECT_TRUE(acc.or_with_changed(inc)) << n;
+    EXPECT_EQ(acc, make_set(n, {0, 1, n - 1})) << n;
+    EXPECT_FALSE(acc.or_with_changed(inc)) << n;  // subset: nothing new
+    EXPECT_EQ(acc, make_set(n, {0, 1, n - 1})) << n;
+  }
+}
+
+// Regression: iterator equality binds to the owning set, not just the
+// position.  begin() of two distinct sets with identical content used to
+// compare equal, so `it != other.end()` loops terminated immediately.
+TEST(ProcessSet, IteratorEqualityBindsToOwningSet) {
+  const ProcessSet a = make_set(10, {2, 5});
+  const ProcessSet b = make_set(10, {2, 5});
+  EXPECT_EQ(a, b);                    // same content...
+  EXPECT_TRUE(a.begin() != b.begin());   // ...but iterators are set-bound
+  EXPECT_TRUE(a.end() != b.end());
+  EXPECT_TRUE(a.begin() == a.begin());
+  EXPECT_TRUE(a.end() == a.end());
+  auto it = a.begin();
+  ++it;
+  ++it;
+  EXPECT_TRUE(it == a.end());
+  EXPECT_TRUE(it != b.end());
 }
 
 TEST(ProcessSet, BoolsRoundTrip) {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "test_util.h"
 
 namespace ftss {
@@ -331,6 +333,47 @@ TEST(SyncSimulator, InFlightFlushIsRetractedWhenTheRunIsExtended) {
     }
     EXPECT_EQ(a.at(r).clock, b.at(r).clock) << "round " << r;
   }
+}
+
+TEST(SyncSimulator, RecordSendsOffPreservesTheRoundColumns) {
+  // record_sends=false is a pure observability knob: the run itself — RNG
+  // consumption, fault manifestation, delayed deliveries, coteries, clocks —
+  // must be bit-identical to the recorded run; only the SendRecord rows
+  // disappear.  Faults plus jitter cover every send-resolution path.
+  const auto build = [](bool record_sends) {
+    SyncSimulator sim(SyncConfig{.seed = 17,
+                                 .record_states = false,
+                                 .record_sends = record_sends,
+                                 .max_extra_delay = 3},
+                      round_agreement_system(5));
+    sim.set_fault_plan(1, FaultPlan::lossy(0.4, 0.4));
+    sim.set_fault_plan(3, FaultPlan::crash(6));
+    sim.corrupt_state(0, clock_state(5000));
+    return sim;
+  };
+  auto with = build(true);
+  auto without = build(false);
+  with.run_rounds(10);
+  without.run_rounds(10);
+  const auto& a = with.history();
+  const auto& b = without.history();
+  ASSERT_EQ(a.length(), b.length());
+  for (Round r = 1; r <= a.length(); ++r) {
+    EXPECT_EQ(a.at(r).clock, b.at(r).clock) << "round " << r;
+    EXPECT_EQ(a.at(r).coterie, b.at(r).coterie) << "round " << r;
+    EXPECT_EQ(a.at(r).faulty_by_now, b.at(r).faulty_by_now) << "round " << r;
+    EXPECT_EQ(a.at(r).alive, b.at(r).alive) << "round " << r;
+    EXPECT_FALSE(a.at(r).sends.empty()) << "round " << r;
+    EXPECT_TRUE(b.at(r).sends.empty()) << "round " << r;
+  }
+}
+
+TEST(SyncSimulator, RecordStatesRequiresRecordSends) {
+  // State snapshots embed sent payloads, so the combination is rejected up
+  // front instead of producing a silently truncated history.
+  SyncSimulator sim(SyncConfig{.record_states = true, .record_sends = false},
+                    round_agreement_system(3));
+  EXPECT_THROW(sim.run_rounds(1), std::logic_error);
 }
 
 }  // namespace
