@@ -191,20 +191,32 @@ void BM_RoundAgreementRounds(benchmark::State& state) {
 }
 BENCHMARK(BM_RoundAgreementRounds)->Arg(4)->Arg(16)->Arg(64);
 
-// EXP19 scaling grid: the same substrate at n in {256, 1024, 4096, 10000}
-// (args: n, rounds — fewer rounds at larger n so one iteration stays
-// bounded; a 10^4-process round is 10^8 messages).  History keeps the
-// per-round clock/coterie/faulty columns the scale checkers read but not
-// per-message SendRecords — at this n those are the difference between
-// megabytes and gigabytes per round.  The msgs_per_round counter is
-// deterministic; timing diffs ride on cpu_ns_per_iter as usual.
+// EXP19/EXP20 scaling grid: the same substrate at n in {256, 1024, 4096,
+// 10000} (args: n, rounds, threads — fewer rounds at larger n so one
+// iteration stays bounded; a 10^4-process round is 10^8 messages).  The
+// threads axis drives EXP20's speedup curve: the parallel engine is
+// byte-identical at any lane count, so every point computes the same
+// history and only the wall clock moves.  History keeps the per-round
+// clock/coterie/faulty columns the scale checkers read but not per-message
+// SendRecords — at this n those are the difference between megabytes and
+// gigabytes per round.  The msgs_per_round counter is deterministic;
+// timing diffs ride on cpu_ns_per_iter as usual — measured as PROCESS cpu
+// time (MeasureProcessCPUTime below), because the default main-thread cpu
+// clock goes dark the moment lanes do the work (the main thread blocks in
+// the pool and a threads=8 point would read as a fantasy 100× "speedup"
+// even on one core).  Process cpu ≈ total work: roughly flat across the
+// threads axis plus visible coordination overhead, which is exactly what a
+// regression gate wants.  The speedup curve itself is wall clock: real
+// time (UseRealTime drives iteration pacing and items_per_second).
 void BM_ScaledRounds(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int rounds = static_cast<int>(state.range(1));
+  const auto threads = static_cast<unsigned>(state.range(2));
   for (auto _ : state) {
     SyncSimulator sim(SyncConfig{.seed = 1,
                                  .record_states = false,
-                                 .record_sends = false},
+                                 .record_sends = false,
+                                 .threads = threads},
                       system_of(n));
     sim.run_rounds(rounds);
     benchmark::DoNotOptimize(sim.history().length());
@@ -214,9 +226,14 @@ void BM_ScaledRounds(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(n) * n);
 }
 BENCHMARK(BM_ScaledRounds)
-    ->Args({256, 20})
-    ->Args({1024, 20})
-    ->Unit(benchmark::kMillisecond);
+    ->Args({256, 20, 1})
+    ->Args({1024, 20, 1})
+    ->Args({1024, 20, 2})
+    ->Args({1024, 20, 4})
+    ->Args({1024, 20, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 // The two largest grid points run exactly one iteration each: a single
 // n=10^4 iteration is ~2*10^8 resolved messages, which is plenty of signal
@@ -225,9 +242,15 @@ void BM_ScaledRoundsLarge(benchmark::State& state) {
   BM_ScaledRounds(state);
 }
 BENCHMARK(BM_ScaledRoundsLarge)
-    ->Args({4096, 5})
-    ->Args({10000, 2})
+    ->Args({4096, 5, 1})
+    ->Args({4096, 5, 2})
+    ->Args({4096, 5, 4})
+    ->Args({4096, 5, 8})
+    ->Args({10000, 2, 1})
+    ->Args({10000, 2, 8})
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
     ->Iterations(1);
 
 void BM_FtssCheck(benchmark::State& state) {

@@ -189,8 +189,24 @@ class JsonEmitter {
             static_cast<std::int64_t>(run.cpu_accumulated_time / iters * 1e9));
         // User counters (e.g. allocs_per_round) ride along so baselines
         // committed as BENCH_*.json keep them comparable across PRs.
+        // Rate counters (items/bytes_per_second and anything flagged
+        // kIsRate) used to truncate to int64 directly, which collapsed
+        // slow-iteration rates to a useless 0 — BM_ScaledRoundsLarge/10000
+        // runs ~0.09 items/s.  Value is integer-only by design (exact
+        // comparisons), so rates are emitted in fixed-point milli-units
+        // under NAME_milli instead: 0.0905 items/s -> items_per_second_milli
+        // = 90.  compare_bench.py skips both spellings as timing-dependent.
         for (const auto& [counter_name, counter] : run.counters) {
-          t[counter_name] = Value(static_cast<std::int64_t>(counter.value));
+          const bool is_rate =
+              (counter.flags & benchmark::Counter::kIsRate) != 0 ||
+              counter_name.ends_with("_per_second");
+          if (is_rate) {
+            t[counter_name + "_milli"] = Value(
+                static_cast<std::int64_t>(counter.value * 1000.0 + 0.5));
+          } else {
+            t[counter_name] =
+                Value(static_cast<std::int64_t>(counter.value));
+          }
         }
         emitter_->timings_.push_back(std::move(t));
       }

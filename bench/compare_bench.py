@@ -55,6 +55,17 @@ def is_wall_clock_counter(name):
     return name.endswith("_ns") or "_ns_" in name
 
 
+def is_rate_counter(name):
+    """Rates derived from the timing (higher = better) are redundant with
+    cpu_ns_per_iter and would mis-diff under a growth-is-bad rule — so they
+    are never diffed AND never treated as added/removed coverage.  Both
+    spellings are recognized: the old truncated-integer NAME_per_second and
+    the fixed-point NAME_per_second_milli that replaced it (the integer
+    emission collapsed sub-1/s rates to 0), so baselines from either side
+    of that re-baseline compare cleanly against the other."""
+    return name.endswith("_per_second") or name.endswith("_per_second_milli")
+
+
 def load(path):
     with open(path) as f:
         data = json.load(f)
@@ -80,10 +91,11 @@ def compare_files(baseline_path, fresh_path, tolerance, all_benchmarks=False,
     new_counters = []
     removed_counters = []
     regressed = False
-    # Rates derived from the timing (higher = better) are redundant with
-    # cpu_ns_per_iter and would mis-diff under a growth-is-bad rule.
-    skip = {"cpu_ns_per_iter", "real_ns_per_iter", "iterations",
-            "items_per_second", "bytes_per_second", "name"}
+    skip = {"cpu_ns_per_iter", "real_ns_per_iter", "iterations", "name"}
+
+    def diffable(names):
+        return {n for n in names if n not in skip and not is_rate_counter(n)}
+
     for name, b in sorted(baseline.items()):
         f = fresh.get(name)
         if f is None:
@@ -93,7 +105,7 @@ def compare_files(baseline_path, fresh_path, tolerance, all_benchmarks=False,
                                         b.get("cpu_ns_per_iter"),
                                         f.get("cpu_ns_per_iter"),
                                         tolerance, rows)
-            for counter in sorted(set(b) & set(f) - skip):
+            for counter in sorted(diffable(b) & diffable(f)):
                 if isinstance(b[counter], (int, float)):
                     counter_tol = (tolerance
                                    if is_wall_clock_counter(counter)
@@ -103,13 +115,13 @@ def compare_files(baseline_path, fresh_path, tolerance, all_benchmarks=False,
             # Candidate-only counters have no baseline to diff against:
             # report, never fail (they become comparable once the baseline
             # regenerates).
-            for counter in sorted(set(f) - set(b) - skip):
+            for counter in sorted(diffable(f) - diffable(b)):
                 if isinstance(f[counter], (int, float)):
                     new_counters.append((name, counter, f[counter]))
         # Baseline-only counters on a benchmark the candidate DID run can't
         # be a filter artifact: the instrumentation stopped reporting.  Hard
         # failure — a silently vanished counter reads as "no regression".
-        for counter in sorted(set(b) - set(f) - skip):
+        for counter in sorted(diffable(b) - diffable(f)):
             if isinstance(b[counter], (int, float)):
                 removed_counters.append((name, counter, b[counter]))
                 regressed = True

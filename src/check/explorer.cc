@@ -101,6 +101,10 @@ TrialResult run_trial(const TrialPlan& plan, const TrialRunOptions& options) {
   config.seed = plan.trial_seed;
   config.record_states = options.record_states;
   config.max_extra_delay = plan.max_extra_delay;
+  // Inherit the process-wide lane default: one knob (--sim-threads /
+  // set_sim_threads_default) parallelizes every trial simulator, which is
+  // how the fingerprint matrix re-runs whole suites at threads = k.
+  config.threads = 0;
   SyncSimulator sim(config, std::move(procs));
   sim.set_trace_sink(options.trace);
   configure_trial(sim, plan);

@@ -30,6 +30,10 @@ void usage() {
          "  --seed S         run seed (default 42)\n"
          "  --jobs J         worker threads (default: hardware)\n"
          "  --threads J      alias for --jobs\n"
+         "  --sim-threads K  lanes per simulated round (default 1; also\n"
+         "                   $FTSS_SIM_THREADS).  Byte-identical output for\n"
+         "                   any K; nested under a parallel sweep the sims\n"
+         "                   run serially, so pair K>1 with --jobs 1\n"
          "  --mode M         all|sync|jitter|compiled (default all)\n"
          "  --weakened W     none|ra-max|no-tags (default none)\n"
          "  --no-shrink      report failures without shrinking\n"
@@ -170,6 +174,9 @@ int main(int argc, char** argv) {
       config.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--jobs" || arg == "--threads") {
       config.jobs = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--sim-threads") {
+      ftss::set_sim_threads_default(
+          static_cast<unsigned>(std::atoi(next())));
     } else if (arg == "--mode") {
       const std::string m = next();
       config.adversary.allow_sync = m == "all" || m == "sync";

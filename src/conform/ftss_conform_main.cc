@@ -18,6 +18,7 @@
 
 #include "conform/conform.h"
 #include "obs/flight.h"
+#include "sim/simulator.h"
 
 namespace {
 
@@ -26,6 +27,9 @@ void usage() {
                "  --trials N       number of sampled plans (default 240)\n"
                "  --seed S         run seed (default 42)\n"
                "  --jobs J         worker threads (default: hardware)\n"
+               "  --sim-threads K  lanes per simulated round (default 1;\n"
+               "                   also $FTSS_SIM_THREADS); byte-identical\n"
+               "                   output for any K — pair with --jobs 1\n"
                "  --no-shrink      report divergent plans without shrinking\n"
                "  --max-failures K divergent plans to keep (default 3)\n"
                "  --replay FILE    run the oracle battery on one plan JSON\n"
@@ -173,6 +177,9 @@ int main(int argc, char** argv) {
       config.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--jobs" || arg == "--threads") {
       config.jobs = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--sim-threads") {
+      ftss::set_sim_threads_default(
+          static_cast<unsigned>(std::atoi(next())));
     } else if (arg == "--no-shrink") {
       config.shrink = false;
     } else if (arg == "--max-failures") {

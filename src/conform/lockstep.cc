@@ -465,6 +465,7 @@ void LockstepDriver::run() {
   scfg.seed = plan_.trial_seed;
   scfg.record_states = true;
   scfg.max_extra_delay = plan_.max_extra_delay;
+  scfg.threads = 0;  // inherit the process-wide lane default
   sync_ = std::make_unique<SyncSimulator>(scfg, std::move(procs));
   configure_trial(*sync_, plan_);
   sync_->run_rounds(static_cast<int>(final_));

@@ -20,6 +20,7 @@ SyncConfig sync_config_for(const TrialPlan& plan) {
   cfg.seed = plan.trial_seed;
   cfg.record_states = true;
   cfg.max_extra_delay = plan.max_extra_delay;
+  cfg.threads = 0;  // inherit the process-wide lane default
   return cfg;
 }
 

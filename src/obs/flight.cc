@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "sim/simulator.h"
 
 namespace ftss {
 namespace {
@@ -52,9 +53,32 @@ const char* flight_cat_name(FlightCat cat) {
       return "sim";
     case FlightCat::kMark:
       return "mark";
+    case FlightCat::kLane:
+      return "lane";
   }
   return "unknown";
 }
+
+namespace {
+
+// Adapters wiring the simulator's layering-neutral lane hooks (see
+// SimLaneHooks in sim/simulator.h) onto the flight recorder: any binary
+// that links the obs library gets per-worker kLane spans from the parallel
+// round engine, recorded into each worker thread's own ring.  Installed by
+// a namespace-scope initializer — flight.cc is linked in iff something in
+// the binary uses the recorder, which is exactly when the spans have
+// somewhere to go.
+void record_lane_span(Round round, std::int64_t t0) {
+  FlightRecorder::span(FlightCat::kLane, round, t0);
+}
+
+[[maybe_unused]] const bool kLaneHooksInstalled = [] {
+  set_sim_lane_hooks(
+      SimLaneHooks{&FlightRecorder::now_ns, &record_lane_span});
+  return true;
+}();
+
+}  // namespace
 
 // One thread's preallocated ring.  The mutex is uncontended in steady state
 // (only the owning thread records); a dump in progress is the only other

@@ -55,6 +55,7 @@ enum class FlightCat : std::uint16_t {
   kOracle,     // an oracle evaluation / failure          a=index     b=ns
   kSim,        // a simulator trace event (FlightTraceSink) a=kind    b=round
   kMark,       // free-form instant                       a,b caller-defined
+  kLane,       // one parallel round-engine lane phase    a=round     b=ns
 };
 const char* flight_cat_name(FlightCat cat);
 

@@ -30,6 +30,16 @@ void CausalityTracker::deliver(ProcessId sender, ProcessId dest) {
   deliver_snapshot(influence_at_send_[sender], dest);
 }
 
+void CausalityTracker::merge_lane(Lane& lane) {
+  if (!lane.changed) return;
+  stale_ |= lane.stale;
+  full_ |= lane.full;
+  closure_changed_ = true;
+  lane.stale.clear();
+  lane.full.clear();
+  lane.changed = false;
+}
+
 ProcessSet CausalityTracker::coterie(const ProcessSet& correct) const {
   if (coterie_valid_ && !closure_changed_ && correct == cached_correct_) {
     return cached_coterie_;

@@ -72,6 +72,45 @@ class CausalityTracker {
   // delivery loops once the closure has saturated.
   bool saturated(ProcessId q) const { return full_.contains(q); }
 
+  // --- Lane API for the parallel round engine ----------------------------
+  //
+  // Each engine lane owns a contiguous range of destinations; during a
+  // parallel delivery phase it calls deliver_snapshot_lane for its own
+  // destinations only, accumulating staleness/fullness into its private
+  // Lane instead of the shared stale_/full_ bookkeeping (which other lanes
+  // are reading concurrently).  merge_lane folds the bits back serially
+  // between phases.  influence_[dest] itself is written directly — the
+  // dest partition makes it lane-exclusive — and influence growth is
+  // monotone with commuting unions, so the merged state is bit-identical
+  // to the serial delivery order's.
+  struct Lane {
+    ProcessSet stale;
+    ProcessSet full;
+    bool changed = false;
+  };
+  Lane make_lane() const {
+    return Lane{ProcessSet(n_), ProcessSet(n_), false};
+  }
+  void deliver_snapshot_lane(const ProcessSet& sender_influence,
+                             ProcessId dest, Lane& lane) {
+    if (full_.contains(dest) || lane.full.contains(dest)) return;
+    if (influence_[dest].or_with_changed(sender_influence)) {
+      lane.stale.insert(dest);
+      lane.changed = true;
+      if (influence_[dest].count() == n_) lane.full.insert(dest);
+    }
+  }
+  // saturated(), seen through a lane: accounts for fullness reached by this
+  // lane's own deliveries earlier in the round (pre-merge).  Only valid for
+  // destinations the lane owns.
+  bool saturated_lane(ProcessId q, const Lane& lane) const {
+    return full_.contains(q) || lane.full.contains(q);
+  }
+  // Folds a lane's accumulated staleness back into the shared bookkeeping
+  // and resets the lane.  Serial (call between parallel phases, before
+  // coterie() or the next begin_round).
+  void merge_lane(Lane& lane);
+
   // Does p ->_H q hold (reflexively true for p == q)?
   bool influences(ProcessId p, ProcessId q) const {
     return influence_[q].contains(p);

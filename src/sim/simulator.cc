@@ -1,9 +1,58 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
+#include "util/worker_pool.h"
+
 namespace ftss {
+
+namespace {
+
+// Process-wide threads default (SyncConfig::threads == 0).  0 in the slot
+// means "not yet initialized from the environment"; the public value is
+// always >= 1.  Atomic so a sweep's worker threads constructing simulators
+// can read it while a test harness thread set it — last write wins.
+std::atomic<unsigned> g_sim_threads_default{0};
+
+std::atomic<std::int64_t (*)()> g_lane_now{nullptr};
+std::atomic<void (*)(Round, std::int64_t)> g_lane_span{nullptr};
+
+}  // namespace
+
+unsigned sim_threads_default() {
+  unsigned v = g_sim_threads_default.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = 1;
+    if (const char* e = std::getenv("FTSS_SIM_THREADS")) {
+      const long k = std::strtol(e, nullptr, 10);
+      if (k > 0 && k < 65536) v = static_cast<unsigned>(k);
+    }
+    g_sim_threads_default.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void set_sim_threads_default(unsigned threads) {
+  g_sim_threads_default.store(threads == 0 ? 1u : threads,
+                              std::memory_order_relaxed);
+}
+
+void set_sim_lane_hooks(SimLaneHooks hooks) {
+  g_lane_now.store(hooks.now, std::memory_order_relaxed);
+  g_lane_span.store(hooks.span, std::memory_order_relaxed);
+}
+
+SimLaneHooks sim_lane_hooks() {
+  SimLaneHooks hooks;
+  hooks.now = g_lane_now.load(std::memory_order_relaxed);
+  hooks.span = g_lane_span.load(std::memory_order_relaxed);
+  if (hooks.now == nullptr || hooks.span == nullptr) return SimLaneHooks{};
+  return hooks;
+}
 
 class SyncSimulator::OutboxImpl : public Outbox {
  public:
@@ -42,19 +91,21 @@ class SyncSimulator::OutboxImpl : public Outbox {
 // end_round runs.
 class SyncSimulator::FastOutboxImpl : public Outbox {
  public:
-  FastOutboxImpl(ProcessId self, SyncSimulator* sim)
-      : self_(self), n_(sim->process_count()), sim_(sim) {}
+  // The sink is a parameter (rather than the simulator's shared log) so the
+  // parallel engine can hand each collection lane a private log; the serial
+  // path passes &fast_log_ directly.
+  FastOutboxImpl(ProcessId self, int n, std::vector<FastSend>* sink)
+      : self_(self), n_(n), sink_(sink) {}
 
   void send(ProcessId to, Value payload) override {
     if (to < 0 || to >= n_) {
       throw std::out_of_range("Outbox::send: bad destination");
     }
-    sim_->fast_log_.push_back(FastSend{self_, to, std::move(payload)});
+    sink_->push_back(FastSend{self_, to, std::move(payload)});
   }
 
   void broadcast(Value payload) override {
-    sim_->fast_log_.push_back(
-        FastSend{self_, kBroadcastDest, std::move(payload)});
+    sink_->push_back(FastSend{self_, kBroadcastDest, std::move(payload)});
   }
 
   int process_count() const override { return n_; }
@@ -62,7 +113,7 @@ class SyncSimulator::FastOutboxImpl : public Outbox {
  private:
   ProcessId self_;
   int n_;
-  SyncSimulator* sim_;
+  std::vector<FastSend>* sink_;
 };
 
 SyncSimulator::SyncSimulator(SyncConfig config,
@@ -83,6 +134,33 @@ SyncSimulator::SyncSimulator(SyncConfig config,
   history_.n = static_cast<int>(processes_.size());
   for (const auto& p : processes_) {
     if (p->suspect_set() != nullptr) any_suspects_ = true;
+  }
+
+  // Resolve the parallel round engine's lane count: 0 inherits the process
+  // default, and more lanes than processes (or than dest_lane_'s uint8 can
+  // index) buys nothing.
+  const unsigned wanted =
+      config_.threads == 0 ? sim_threads_default() : config_.threads;
+  const unsigned cap = static_cast<unsigned>(std::min<std::size_t>(
+      std::max<std::size_t>(1, processes_.size()), 255));
+  lanes_ = std::max(1u, std::min(wanted, cap));
+  if (lanes_ > 1) {
+    engine_lanes_.reserve(lanes_);
+    for (unsigned l = 0; l < lanes_; ++l) {
+      engine_lanes_.emplace_back();
+      engine_lanes_.back().causality = causality_.make_lane();
+    }
+    dest_lane_.resize(processes_.size());
+    for (unsigned l = 0; l < lanes_; ++l) {
+      const auto [lo, hi] = WorkerPool::split(processes_.size(), lanes_, l);
+      for (std::size_t d = lo; d < hi; ++d) {
+        dest_lane_[d] = static_cast<std::uint8_t>(l);
+      }
+    }
+    // Lanes are logical: correctness never depends on the pool's physical
+    // size (a 1-thread pool runs every lane inline), but grow it so a
+    // threads = 8 simulator gets real concurrency on capable hardware.
+    WorkerPool::shared().ensure_lanes(lanes_);
   }
 }
 
@@ -188,6 +266,9 @@ template <bool kTraced, bool kRecordSends>
 void SyncSimulator::run_rounds_impl(int k) {
   const int n = process_count();
   const std::size_t ring = in_flight_slots_.size();
+  // Lane-span instrumentation (installed by the obs layer; see SimLaneHooks)
+  // read once per call: the hot loop pays one pointer test per lane-phase.
+  const SimLaneHooks hooks = sim_lane_hooks();
   if (!started_) {
     started_ = true;
     has_send_rules_.resize(static_cast<std::size_t>(n));
@@ -248,6 +329,25 @@ void SyncSimulator::run_rounds_impl(int k) {
     }
 
     causality_.begin_round();
+
+    // Does the parallel engine run this round's phases?  Never when traced:
+    // the tape must interleave per-message events in exact serial order, so
+    // a traced run takes the serial path regardless of config.threads (the
+    // tracing-transparency oracle compares traced vs untraced histories,
+    // and the untraced parallel run is byte-identical to serial).
+    bool par = false;
+    if constexpr (!kTraced) par = lanes_ > 1;
+
+    // One parallel phase: body(lane) on every engine lane, each lane
+    // reporting a wall-clock span to the installed hooks (per-worker flight
+    // rings) — wall-clock only, never an input to any fingerprint.
+    const auto run_lanes = [&](auto&& body) {
+      WorkerPool::shared().run_tasks(lanes_, [&](std::size_t lane) {
+        const std::int64_t t0 = hooks.now != nullptr ? hooks.now() : 0;
+        body(lane);
+        if (hooks.span != nullptr) hooks.span(r, t0);
+      });
+    };
 
     // Resolve a message at its delivery round: crash / receive-omission /
     // delivery, recording the outcome in the current round's record.  The
@@ -355,9 +455,29 @@ void SyncSimulator::run_rounds_impl(int k) {
     if (fast_round) {
       // Collection: each sender logs its traffic (broadcasts stored once).
       fast_log_.clear();
-      for (ProcessId p = 0; p < n; ++p) {
-        FastOutboxImpl out(p, this);
-        processes_[p]->begin_round(out);
+      if (par) {
+        // Lanes collect contiguous sender ranges into private logs;
+        // concatenating in lane order reproduces the serial id-ascending
+        // log exactly (each lane walks its own range in id order).
+        run_lanes([&](std::size_t lane) {
+          EngineLane& el = engine_lanes_[lane];
+          el.fast_log.clear();
+          const auto [lo, hi] =
+              WorkerPool::split(static_cast<std::size_t>(n), lanes_, lane);
+          for (std::size_t p = lo; p < hi; ++p) {
+            FastOutboxImpl out(static_cast<ProcessId>(p), n, &el.fast_log);
+            processes_[p]->begin_round(out);
+          }
+        });
+        for (EngineLane& el : engine_lanes_) {
+          for (FastSend& e : el.fast_log) fast_log_.push_back(std::move(e));
+          el.fast_log.clear();
+        }
+      } else {
+        for (ProcessId p = 0; p < n; ++p) {
+          FastOutboxImpl out(p, n, &fast_log_);
+          processes_[p]->begin_round(out);
+        }
       }
       bool broadcast_only = true;
       for (const FastSend& e : fast_log_) {
@@ -380,18 +500,51 @@ void SyncSimulator::run_rounds_impl(int k) {
         for (FastSend& e : fast_log_) {
           fast_inbox_.push_back(Message{e.sender, 0, std::move(e.payload)});
         }
-        for (ProcessId q = 0; q < n; ++q) {
-          for (Message& m : fast_inbox_) m.dest = q;
-          if (!causality_.saturated(q)) {
-            for (const Message& m : fast_inbox_) {
-              causality_.deliver_snapshot(causality_.send_snapshot(m.sender),
-                                          q);
+        if (par) {
+          // Destination-partitioned delivery: each lane takes a private
+          // copy of the scratch inbox (COW payloads — refcount bumps, not
+          // deep copies) because the dest field is retargeted per
+          // destination and cannot be shared across lanes.  Closure
+          // updates go through the lane-local API; a destination's
+          // saturation within the round can only come from deliveries to
+          // it, all of which this lane performs, so saturated_lane sees
+          // exactly what the serial loop's saturated() would.
+          run_lanes([&](std::size_t lane) {
+            EngineLane& el = engine_lanes_[lane];
+            el.fast_inbox = fast_inbox_;
+            const auto [lo, hi] =
+                WorkerPool::split(static_cast<std::size_t>(n), lanes_, lane);
+            for (std::size_t qi = lo; qi < hi; ++qi) {
+              const ProcessId q = static_cast<ProcessId>(qi);
+              for (Message& m : el.fast_inbox) m.dest = q;
+              if (!causality_.saturated_lane(q, el.causality)) {
+                for (const Message& m : el.fast_inbox) {
+                  causality_.deliver_snapshot_lane(
+                      causality_.send_snapshot(m.sender), q, el.causality);
+                }
+              }
+              if (!processes_[q]->halted()) {
+                processes_[q]->end_round(el.fast_inbox);
+              }
+            }
+          });
+        } else {
+          for (ProcessId q = 0; q < n; ++q) {
+            for (Message& m : fast_inbox_) m.dest = q;
+            if (!causality_.saturated(q)) {
+              for (const Message& m : fast_inbox_) {
+                causality_.deliver_snapshot(causality_.send_snapshot(m.sender),
+                                            q);
+              }
+            }
+            // A process that halted during its own begin_round still gets
+            // its deliveries counted by the closure but takes no
+            // transition, exactly as the receive phase below would treat
+            // it.
+            if (!processes_[q]->halted()) {
+              processes_[q]->end_round(fast_inbox_);
             }
           }
-          // A process that halted during its own begin_round still gets
-          // its deliveries counted by the closure but takes no transition,
-          // exactly as the receive phase below would treat it.
-          if (!processes_[q]->halted()) processes_[q]->end_round(fast_inbox_);
         }
         fast_delivered = true;
       } else {
@@ -411,6 +564,136 @@ void SyncSimulator::run_rounds_impl(int k) {
                 Message{e.sender, e.dest, std::move(e.payload)});
           }
         }
+      }
+    } else if (par) {
+      // Send phase, parallel: senders are processed in blocks, bounding the
+      // collected scratch at O(block * n) messages (the serial streaming
+      // path holds O(n)).  Within a block: (C1) lanes run begin_round for
+      // contiguous sender subranges into private outboxes; (C2) a SERIAL
+      // fate pass walks the collected messages in exact sender-major order
+      // — lane concatenation order IS sender order, since lanes own
+      // ascending contiguous ranges — so every RNG draw, fault
+      // manifestation, in-flight enqueue and SendRecord slot assignment
+      // replicates the serial path bit-for-bit; (C3) lanes fill their
+      // pre-assigned record slots, apply lane-local closure updates and
+      // push inbox deliveries for the destinations they own.
+      const int block = static_cast<int>(std::max(32u, 4u * lanes_));
+      for (int s0 = 0; s0 < n; s0 += block) {
+        const int s1 = std::min(n, s0 + block);
+        run_lanes([&](std::size_t lane) {
+          EngineLane& el = engine_lanes_[lane];
+          el.outbox.clear();
+          const auto [lo, hi] = WorkerPool::split(
+              static_cast<std::size_t>(s1 - s0), lanes_, lane);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const ProcessId p =
+                static_cast<ProcessId>(s0 + static_cast<int>(i));
+            if (!rec.alive[p] || processes_[p]->halted()) continue;
+            OutboxImpl out(p, n, &el.outbox);
+            processes_[p]->begin_round(out);
+          }
+        });
+
+        const std::size_t base = rec.sends.size();
+        std::size_t slots = 0;
+        dropped_sends_.clear();
+        for (unsigned lane = 0; lane < lanes_; ++lane) {
+          for (Message& m : engine_lanes_[lane].outbox) {
+            if (has_send_rules_[m.sender] &&
+                send_dropped(m.sender, m.dest, r)) {
+              if constexpr (kRecordSends) {
+                dropped_sends_.emplace_back(
+                    &m, static_cast<std::uint32_t>(slots++));
+              }
+              mark_faulty(m.sender, r, "send-omission");
+              continue;
+            }
+            const int delay =
+                (config_.max_extra_delay > 0 && m.sender != m.dest)
+                    ? static_cast<int>(
+                          rng_.uniform(0, config_.max_extra_delay))
+                    : 0;
+            if (delay != 0) {
+              FlightSlot& slot = in_flight_slots_[static_cast<std::size_t>(
+                                                      r + delay) %
+                                                  ring];
+              if (slot.used < slot.pool.size()) {
+                InFlight& f = slot.pool[slot.used];
+                f.sender_influence = causality_.send_snapshot(m.sender);
+                f.message = std::move(m);
+                f.sent_round = r;
+                f.flow_id = -1;
+              } else {
+                slot.pool.push_back(
+                    InFlight{std::move(m), r,
+                             causality_.send_snapshot(m.sender), -1});
+              }
+              ++slot.used;
+              ++in_flight_count_;
+              continue;
+            }
+            std::uint8_t fate = kFateDelivered;
+            if (!rec.alive[m.dest]) {
+              fate = kFateDestCrashed;
+            } else if (has_recv_rules_[m.dest] &&
+                       receive_dropped(m.sender, m.dest, r)) {
+              fate = kFateRecvDropped;
+              mark_faulty(m.dest, r, "receive-omission");
+            }
+            std::uint32_t slot_index =
+                std::numeric_limits<std::uint32_t>::max();
+            if constexpr (kRecordSends) {
+              slot_index = static_cast<std::uint32_t>(slots++);
+            }
+            engine_lanes_[dest_lane_[m.dest]].deliveries.push_back(
+                EngineLane::Delivery{&m, slot_index, fate});
+          }
+        }
+
+        // C3: size the block's record tail, fill the sender-dropped
+        // records serially (they were never bucketed to a lane), then let
+        // lanes fill their slots and deliver.  A destination's messages
+        // all live in one lane and each lane's bucket is already in global
+        // send order, so inbox contents and order match the serial path.
+        if constexpr (kRecordSends) {
+          rec.sends.resize(base + slots);
+          for (const auto& [message, slot_index] : dropped_sends_) {
+            SendRecord& sr = rec.sends[base + slot_index];
+            sr.sender = message->sender;
+            sr.dest = message->dest;
+            sr.sent_round = r;
+            sr.delivery_round = r;
+            if (config_.record_states) sr.payload = message->payload;
+            sr.dropped_by_sender = true;
+          }
+        }
+        run_lanes([&](std::size_t lane) {
+          EngineLane& el = engine_lanes_[lane];
+          for (const EngineLane::Delivery& d : el.deliveries) {
+            Message& m = *d.message;
+            if constexpr (kRecordSends) {
+              SendRecord& sr = rec.sends[base + d.slot];
+              sr.sender = m.sender;
+              sr.dest = m.dest;
+              sr.sent_round = r;
+              sr.delivery_round = r;
+              if (config_.record_states) sr.payload = m.payload;
+              if (d.fate == kFateDestCrashed) {
+                sr.dest_crashed = true;
+              } else if (d.fate == kFateRecvDropped) {
+                sr.dropped_by_receiver = true;
+              } else {
+                sr.delivered = true;
+              }
+            }
+            if (d.fate == kFateDelivered) {
+              causality_.deliver_snapshot_lane(
+                  causality_.send_snapshot(m.sender), m.dest, el.causality);
+              inbox_[m.dest].push_back(std::move(m));
+            }
+          }
+          el.deliveries.clear();
+        });
       }
     } else {
       // Send phase, streamed sender-by-sender in id order: each live,
@@ -479,27 +762,64 @@ void SyncSimulator::run_rounds_impl(int k) {
     }
 
     // Receive/transition phase (already folded into the destination-major
-    // loop on a fast broadcast-only round).
-    for (ProcessId p = 0; !fast_delivered && p < n; ++p) {
-      auto& in = inbox_[p];
-      if (!rec.alive[p] || processes_[p]->halted()) {
-        in.clear();
-        continue;
-      }
-      // Deliveries land in send order, which with zero jitter is strictly
-      // sender-ascending (the send phase streams senders in id order); only
-      // a jittered configuration can interleave rounds, so only then does
-      // the order need checking at all.
-      if (config_.max_extra_delay > 0) {
-        const auto by_sender = [](const Message& a, const Message& b) {
-          return a.sender < b.sender;
-        };
-        if (!std::is_sorted(in.begin(), in.end(), by_sender)) {
-          std::stable_sort(in.begin(), in.end(), by_sender);
+    // loop on a fast broadcast-only round).  The parallel arm partitions
+    // destinations by lane and mirrors the serial loop exactly; every
+    // inbox was filled identically (drain order, then block order), so
+    // each transition sees the same message sequence either way.
+    if (par && !fast_delivered) {
+      run_lanes([&](std::size_t lane) {
+        const auto [lo, hi] =
+            WorkerPool::split(static_cast<std::size_t>(n), lanes_, lane);
+        for (std::size_t pi = lo; pi < hi; ++pi) {
+          const ProcessId p = static_cast<ProcessId>(pi);
+          auto& in = inbox_[p];
+          if (!rec.alive[p] || processes_[p]->halted()) {
+            in.clear();
+            continue;
+          }
+          if (config_.max_extra_delay > 0) {
+            const auto by_sender = [](const Message& a, const Message& b) {
+              return a.sender < b.sender;
+            };
+            if (!std::is_sorted(in.begin(), in.end(), by_sender)) {
+              std::stable_sort(in.begin(), in.end(), by_sender);
+            }
+          }
+          processes_[p]->end_round(in);
+          in.clear();
         }
+      });
+    } else {
+      for (ProcessId p = 0; !fast_delivered && p < n; ++p) {
+        auto& in = inbox_[p];
+        if (!rec.alive[p] || processes_[p]->halted()) {
+          in.clear();
+          continue;
+        }
+        // Deliveries land in send order, which with zero jitter is strictly
+        // sender-ascending (the send phase streams senders in id order);
+        // only a jittered configuration can interleave rounds, so only then
+        // does the order need checking at all.
+        if (config_.max_extra_delay > 0) {
+          const auto by_sender = [](const Message& a, const Message& b) {
+            return a.sender < b.sender;
+          };
+          if (!std::is_sorted(in.begin(), in.end(), by_sender)) {
+            std::stable_sort(in.begin(), in.end(), by_sender);
+          }
+        }
+        processes_[p]->end_round(in);
+        in.clear();
       }
-      processes_[p]->end_round(in);
-      in.clear();
+    }
+
+    // Fold lane-local causality staleness back into the shared bookkeeping
+    // (fixed lane order; unions commute, so merge order is immaterial)
+    // before the coterie reads it and the next begin_round consumes it.
+    if (par) {
+      for (EngineLane& el : engine_lanes_) {
+        causality_.merge_lane(el.causality);
+      }
     }
 
     // Post-transition observations: adopted round variables and Π⁺

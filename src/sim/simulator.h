@@ -37,7 +37,43 @@ struct SyncConfig {
   // in the sending round.  Receive-omission faults are evaluated at the
   // delivery round; send-omission faults at the send round.
   int max_extra_delay = 0;
+  // Deterministic intra-round parallelism.  1 (the default) is exactly
+  // today's serial round loop.  k > 1 partitions each round's phases —
+  // send-phase collection, delivery/closure, and the receive/transition
+  // sweep — across k lanes of the shared WorkerPool by contiguous
+  // process-id ranges, with per-lane scratch merged back in ascending id
+  // order; every RNG draw, SendRecord, inbox ordering, causality update
+  // and therefore every history byte and pinned fingerprint is identical
+  // to the serial path's at any k (parallel_round_test pins this).
+  // 0 = inherit the process-wide default (set_sim_threads_default /
+  // $FTSS_SIM_THREADS), which is how the trial drivers let one knob
+  // parallelize every simulator they construct.  Clamped to the process
+  // count.  Attaching a trace sink forces the serial path: the tape must
+  // interleave per-message events in exact serial order, and the tracing
+  // transparency oracle already compares traced against untraced histories.
+  unsigned threads = 1;
 };
+
+// Process-wide default lane count adopted by simulators constructed with
+// threads == 0.  Initialized from $FTSS_SIM_THREADS (falling back to 1) at
+// first use.
+unsigned sim_threads_default();
+void set_sim_threads_default(unsigned threads);
+
+// Wall-clock instrumentation hook for the parallel round engine: when
+// installed, every engine lane reports one (round, t0) span per parallel
+// phase it executes, on the worker thread that ran it.  The simulator sits
+// below the observability plane in the layering, so the hook is a pair of
+// raw function pointers (a clock and a sink) rather than a FlightRecorder
+// call; obs/flight.cc self-installs adapters mapping them onto per-thread
+// flight rings (FlightCat::kLane), which is what makes lane timing show up
+// per-worker in flight dumps with zero sim -> obs dependency.
+struct SimLaneHooks {
+  std::int64_t (*now)() = nullptr;                 // monotonic ns
+  void (*span)(Round round, std::int64_t t0) = nullptr;
+};
+void set_sim_lane_hooks(SimLaneHooks hooks);
+SimLaneHooks sim_lane_hooks();
 
 class SyncSimulator {
  public:
@@ -123,6 +159,46 @@ class SyncSimulator {
   // construction.
   template <bool kTraced, bool kRecordSends>
   void run_rounds_impl(int k);
+
+  // --- Parallel round engine (lanes_ > 1) --------------------------------
+  //
+  // Message fate in the parallel send phase: begin_round collection fans
+  // out across lanes (C1), a SERIAL fate pass walks the collected messages
+  // in exact sender-major order — every RNG draw, fault manifestation,
+  // in-flight enqueue and SendRecord slot index therefore matches the
+  // serial path bit-for-bit (C2) — and the lanes then fill their
+  // pre-assigned record slots, apply lane-local causality updates and push
+  // inbox deliveries for the destinations they own (C3).
+  static constexpr std::uint8_t kFateDelivered = 0;
+  static constexpr std::uint8_t kFateDestCrashed = 1;
+  static constexpr std::uint8_t kFateRecvDropped = 2;
+  struct EngineLane {
+    // Slow-path send collection: messages from this lane's contiguous
+    // sender range, in sender-then-emission order.
+    std::vector<Message> outbox;
+    // Fate-resolved messages awaiting C3, bucketed by destination owner.
+    // `slot` is the message's offset into this block's rec.sends tail
+    // (uint32 max if records are off); pointers reference lane outboxes
+    // and stay valid for the block.
+    struct Delivery {
+      Message* message;
+      std::uint32_t slot;
+      std::uint8_t fate;
+    };
+    std::vector<Delivery> deliveries;
+    // Fast-path scratch: per-lane collection log and a private copy of the
+    // shared broadcast inbox (only the dest field is retargeted per
+    // destination, so lanes cannot share one).
+    std::vector<FastSend> fast_log;
+    std::vector<Message> fast_inbox;
+    CausalityTracker::Lane causality;
+  };
+  unsigned lanes_ = 1;  // config_.threads resolved and clamped
+  std::vector<EngineLane> engine_lanes_;
+  std::vector<std::uint8_t> dest_lane_;  // owner lane of each destination
+  // Fate-pass scratch: sender-omission-dropped messages and their record
+  // slots, filled serially after the block's rec.sends tail is sized.
+  std::vector<std::pair<Message*, std::uint32_t>> dropped_sends_;
 
   SyncConfig config_;
   Rng rng_;

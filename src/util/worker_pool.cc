@@ -1,0 +1,128 @@
+#include "util/worker_pool.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ftss {
+
+namespace {
+thread_local bool tl_on_pool_thread = false;
+}  // namespace
+
+// One posted batch.  Lives on the posting caller's stack; workers hold a
+// raw pointer to it only between observing the generation bump and
+// reporting done, and run_batch does not return (or retire the pointer)
+// until every registered worker has reported.
+struct WorkerPool::Batch {
+  void (*fn)(void*, std::size_t) = nullptr;
+  void* ctx = nullptr;
+  std::size_t tasks = 0;
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr error;
+  std::size_t error_task = std::numeric_limits<std::size_t>::max();
+};
+
+WorkerPool::WorkerPool(unsigned lanes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (threads_.size() + 1 < std::max(1u, lanes)) spawn_locked();
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+unsigned WorkerPool::lanes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<unsigned>(threads_.size()) + 1;
+}
+
+void WorkerPool::ensure_lanes(unsigned lanes) {
+  // post_mu_ keeps growth out of any in-flight batch: a thread spawned
+  // mid-batch could otherwise register with generation_ == the live batch's
+  // and skip it while run_batch counts it as draining.
+  std::lock_guard<std::mutex> serialize(post_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (threads_.size() + 1 < lanes) spawn_locked();
+}
+
+void WorkerPool::spawn_locked() {
+  threads_.emplace_back([this] { worker_main(); });
+}
+
+bool WorkerPool::on_pool_thread() { return tl_on_pool_thread; }
+
+void WorkerPool::execute(Batch& batch) {
+  for (;;) {
+    const std::size_t t = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= batch.tasks) return;
+    try {
+      batch.fn(batch.ctx, t);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.err_mu);
+      if (t < batch.error_task) {
+        batch.error_task = t;
+        batch.error = std::current_exception();
+      }
+    }
+  }
+}
+
+void WorkerPool::worker_main() {
+  tl_on_pool_thread = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  // Registration pairs with run_batch's draining_ = registered_: a worker
+  // that registers before a batch is posted will observe its generation
+  // bump; one that registers after adopts the current generation and waits
+  // for the next batch, exactly matching not having been counted.
+  std::uint64_t seen = generation_;
+  ++registered_;
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    Batch* batch = batch_;
+    lock.unlock();
+    execute(*batch);
+    lock.lock();
+    if (--draining_ == 0) done_cv_.notify_one();
+  }
+}
+
+void WorkerPool::run_batch(void (*fn)(void*, std::size_t), void* ctx,
+                           std::size_t tasks) {
+  std::lock_guard<std::mutex> serialize(post_mu_);
+  Batch batch;
+  batch.fn = fn;
+  batch.ctx = ctx;
+  batch.tasks = tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    ++generation_;
+    draining_ = registered_;
+  }
+  work_cv_.notify_all();
+  // The caller is lane material too: claim tasks until none remain.
+  tl_on_pool_thread = true;
+  execute(batch);
+  tl_on_pool_thread = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return draining_ == 0; });
+    batch_ = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace ftss

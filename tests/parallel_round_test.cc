@@ -1,0 +1,301 @@
+// Deterministic intra-round parallelism (SyncConfig::threads).
+//
+// The round engine's contract is byte-identical observable output at ANY
+// lane count: clock/coterie/faulty columns, SendRecords, causality results
+// and every downstream fingerprint must not move when a round's phases run
+// on 2 or 8 lanes instead of inline.  This suite pins that contract three
+// ways: the golden-fingerprint constants re-asserted at threads ∈ {1,2,8},
+// full history-dump equality on both the broadcast fast path and the
+// fault/jitter slow path, and the explorer's aggregate fingerprint under a
+// process-wide lane default.  A flight-recorder stress test dumps the ring
+// mid-run while lanes record — the TSan CI leg runs this suite to prove the
+// engine shares nothing without a happens-before edge.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "check/explorer.h"
+#include "obs/flight.h"
+#include "sim/history_dump.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace ftss {
+namespace {
+
+// The lane default is process-wide state; every test restores the serial
+// default on exit so suites stay order-independent.
+struct SimThreadsGuard {
+  explicit SimThreadsGuard(unsigned k) { set_sim_threads_default(k); }
+  ~SimThreadsGuard() { set_sim_threads_default(1); }
+  SimThreadsGuard(const SimThreadsGuard&) = delete;
+  SimThreadsGuard& operator=(const SimThreadsGuard&) = delete;
+};
+
+std::uint64_t fnv(std::uint64_t h, std::string_view s) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+// Same folding as golden_fingerprint_test.cc's untraced sync_fingerprint:
+// verbose history dump + metrics fingerprint + oracle violations.  The
+// constants asserted below are the exact pins from that suite, so a lane
+// count that perturbs anything observable fails against the serial truth.
+std::uint64_t sync_fingerprint(const TrialPlan& plan) {
+  TrialRunOptions options;
+  options.record_states = true;
+  History history;
+  options.history_out = &history;
+  const TrialResult result = run_trial(plan, options);
+
+  DumpOptions dump;
+  dump.show_sends = true;
+  dump.show_suspects = true;
+  std::uint64_t fp = kFnvBasis;
+  fp = fnv(fp, history_to_string(history, dump));
+  fp = fnv(fp, std::to_string(result.metrics.fingerprint()));
+  for (const auto& v : result.evaluation.violations) fp = fnv(fp, v.oracle);
+  return fp;
+}
+
+TrialPlan sync_plan(std::uint64_t seed, int n) {
+  TrialPlan plan;
+  plan.trial_seed = seed;
+  plan.mode = TrialMode::kRoundAgreementSync;
+  plan.n = n;
+  plan.rounds = 30;
+  plan.faults.push_back(FaultSpec{.process = 1,
+                                  .kind = FaultSpec::Kind::kCrash,
+                                  .onset = 9});
+  plan.corruptions.push_back(CorruptionSpec{
+      .process = 0, .kind = CorruptionSpec::Kind::kClock, .magnitude = 4123});
+  return plan;
+}
+
+TrialPlan jitter_plan(std::uint64_t seed, int n, int max_extra_delay) {
+  TrialPlan plan;
+  plan.trial_seed = seed;
+  plan.mode = TrialMode::kRoundAgreementJitter;
+  plan.n = n;
+  plan.rounds = 40;
+  plan.max_extra_delay = max_extra_delay;
+  plan.faults.push_back(FaultSpec{.process = 2,
+                                  .kind = FaultSpec::Kind::kReceiveOmission,
+                                  .onset = 5,
+                                  .until = 12,
+                                  .permille = 500});
+  plan.corruptions.push_back(CorruptionSpec{.process = 1,
+                                            .kind = CorruptionSpec::Kind::kGarbage,
+                                            .magnitude = 64,
+                                            .value_seed = seed * 3 + 1});
+  return plan;
+}
+
+TrialPlan compiled_plan(std::uint64_t seed, int n, int f, int max_extra_delay) {
+  TrialPlan plan;
+  plan.trial_seed = seed;
+  plan.mode = TrialMode::kCompiled;
+  plan.protocol = "floodset-consensus";
+  plan.n = n;
+  plan.f_budget = f;
+  plan.rounds = 36;
+  plan.max_extra_delay = max_extra_delay;
+  plan.faults.push_back(FaultSpec{.process = 0,
+                                  .kind = FaultSpec::Kind::kCrash,
+                                  .onset = 7});
+  if (f >= 2) {
+    plan.faults.push_back(FaultSpec{.process = 1,
+                                    .kind = FaultSpec::Kind::kSendOmission,
+                                    .onset = 3,
+                                    .until = 10,
+                                    .peer = 2});
+  }
+  plan.corruptions.push_back(CorruptionSpec{
+      .process = n - 1, .kind = CorruptionSpec::Kind::kClock, .magnitude = 997});
+  return plan;
+}
+
+TEST(ParallelRound, PinnedFingerprintsIdenticalAtAnyLaneCount) {
+  struct Case {
+    const char* name;
+    TrialPlan plan;
+    std::uint64_t want;
+  };
+  const Case cases[] = {
+      {"sync/n4/seed7", sync_plan(7, 4), 0xc9eed893f838c016},
+      {"jitter/n4/d2/seed11", jitter_plan(11, 4, 2), 0x356d9460bf79b1e6},
+      {"compiled/floodset/n8/f2/d1/seed9", compiled_plan(9, 8, 2, 1),
+       0xd386235ad0028cfb},
+  };
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SimThreadsGuard guard(threads);
+    for (const Case& c : cases) {
+      const std::uint64_t got = sync_fingerprint(c.plan);
+      EXPECT_EQ(got, c.want) << c.name << " at threads=" << threads
+                             << " fingerprint 0x" << std::hex << got;
+    }
+  }
+}
+
+// Broadcast fast path (no recording, no faults, no jitter): destination-
+// partitioned lanes with private scratch inboxes must reproduce the serial
+// destination-major loop's history exactly.  n is chosen so 8 lanes each own
+// several destinations and the id-range split has ragged edges.
+TEST(ParallelRound, FastPathHistoryIdenticalAcrossLaneCounts) {
+  const int n = 27;
+  auto run_at = [&](unsigned threads) {
+    SyncSimulator sim(SyncConfig{.seed = 3,
+                                 .record_states = false,
+                                 .record_sends = false,
+                                 .threads = threads},
+                      testing::round_agreement_system(n));
+    sim.corrupt_state(0, testing::clock_state(100000));
+    sim.corrupt_state(n - 1, testing::clock_state(-77));
+    sim.run_rounds(25);
+    return history_to_string(sim.history(), DumpOptions{});
+  };
+  const std::string serial = run_at(1);
+  for (unsigned threads : {2u, 8u}) {
+    EXPECT_EQ(run_at(threads), serial) << "threads=" << threads;
+  }
+}
+
+// Slow path (full recording, crashes, omission rules, jitter): the
+// collect / serial-fate / parallel-fill pipeline must replicate every RNG
+// draw, SendRecord slot, in-flight enqueue and inbox order bit-for-bit.
+TEST(ParallelRound, SlowPathHistoryIdenticalAcrossLaneCounts) {
+  const int n = 24;
+  auto run_at = [&](unsigned threads, int max_extra_delay) {
+    SyncSimulator sim(SyncConfig{.seed = 11,
+                                 .record_states = true,
+                                 .record_sends = true,
+                                 .max_extra_delay = max_extra_delay,
+                                 .threads = threads},
+                      testing::round_agreement_system(n));
+    sim.corrupt_state(0, testing::clock_state(4123));
+    sim.set_fault_plan(1, FaultPlan::crash(9));
+    sim.set_fault_plan(2, FaultPlan::lossy(0.5, 0.3));
+    sim.set_fault_plan(5, FaultPlan::hide_until(7));
+    sim.set_fault_plan(7, FaultPlan::mute());
+    sim.run_rounds(30);
+    DumpOptions dump;
+    dump.show_sends = true;
+    dump.show_suspects = true;
+    return history_to_string(sim.history(), dump);
+  };
+  for (const int delay : {0, 2}) {
+    const std::string serial = run_at(1, delay);
+    for (unsigned threads : {2u, 8u}) {
+      EXPECT_EQ(run_at(threads, delay), serial)
+          << "threads=" << threads << " max_extra_delay=" << delay;
+    }
+  }
+}
+
+// record_sends toggles a different template instantiation; both must hold
+// the identical-at-any-lane-count contract (the recording-off engine skips
+// slot assignment entirely).
+TEST(ParallelRound, RecordingOffSlowPathIdenticalAcrossLaneCounts) {
+  const int n = 24;
+  auto run_at = [&](unsigned threads) {
+    SyncSimulator sim(SyncConfig{.seed = 5,
+                                 .record_states = false,
+                                 .record_sends = false,
+                                 .max_extra_delay = 2,
+                                 .threads = threads},
+                      testing::round_agreement_system(n));
+    sim.set_fault_plan(3, FaultPlan::lossy(0.4, 0.2));
+    sim.run_rounds(30);
+    return history_to_string(sim.history(), DumpOptions{});
+  };
+  const std::string serial = run_at(1);
+  for (unsigned threads : {2u, 8u}) {
+    EXPECT_EQ(run_at(threads), serial) << "threads=" << threads;
+  }
+}
+
+// The whole checker pipeline under a process-wide lane default: sampling,
+// every oracle, metrics fold.  jobs = 1 keeps the sweep serial so the sims
+// are NOT nested in pool tasks and the lanes genuinely engage; the
+// aggregate fingerprints must equal the serial pins from
+// golden_fingerprint_test.cc.
+TEST(ParallelRound, ExplorerAggregateUnchangedByLaneDefault) {
+  SimThreadsGuard guard(8);
+  ExplorerConfig config;
+  config.seed = 42;
+  config.trials = 60;
+  config.jobs = 1;
+  config.shrink = false;
+  const ExplorerReport report = explore(config);
+  EXPECT_EQ(report.fingerprint, 0xa6e279165f653846ULL)
+      << "explorer fingerprint 0x" << std::hex << report.fingerprint;
+  EXPECT_EQ(report.metrics.fingerprint(), 0xebdc28eb4e182790ULL)
+      << "metrics fingerprint 0x" << std::hex << report.metrics.fingerprint();
+}
+
+TEST(ParallelRound, ThreadsDefaultSetterClampsZeroToSerial) {
+  SimThreadsGuard guard(4);
+  EXPECT_EQ(sim_threads_default(), 4u);
+  set_sim_threads_default(0);
+  EXPECT_EQ(sim_threads_default(), 1u);
+}
+
+// Flight-recorder stress: dump the global ring repeatedly while a parallel
+// simulator's lanes are recording kLane spans into their per-thread rings.
+// Under TSan this is the proof that recording and dumping share only the
+// per-ring mutex; the history must still match serial afterwards.
+TEST(ParallelRound, FlightDumpWhileLanesRecord) {
+  const int n = 32;
+  auto run_at = [&](unsigned threads) {
+    SyncSimulator sim(SyncConfig{.seed = 9,
+                                 .record_states = false,
+                                 .record_sends = false,
+                                 .threads = threads},
+                      testing::round_agreement_system(n));
+    sim.run_rounds(200);
+    return history_to_string(sim.history(), DumpOptions{});
+  };
+
+  std::atomic<bool> done{false};
+  std::string parallel_dump;
+  std::thread simulate([&] {
+    parallel_dump = run_at(8);
+    done.store(true, std::memory_order_release);
+  });
+  int dumps = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const FlightDump snap = FlightRecorder::global().dump();
+    (void)snap;
+    ++dumps;
+  }
+  simulate.join();
+  EXPECT_GT(dumps, 0);
+  EXPECT_EQ(parallel_dump, run_at(1));
+
+  if (FlightRecorder::global().enabled()) {
+    // The obs layer self-installs the lane hooks; a threads=8 run must have
+    // left kLane spans behind (any ring — lanes land on pool threads).
+    const FlightDump after = FlightRecorder::global().dump();
+    int lane_events = 0;
+    for (const FlightThreadDump& t : after.threads) {
+      for (const FlightEvent& e : t.events) {
+        if (e.cat == static_cast<std::uint16_t>(FlightCat::kLane)) {
+          ++lane_events;
+        }
+      }
+    }
+    EXPECT_GT(lane_events, 0) << "lane hooks installed but no spans recorded";
+  }
+}
+
+}  // namespace
+}  // namespace ftss

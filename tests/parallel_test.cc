@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 
 #include "core/predicates.h"
 #include "core/round_agreement.h"
 #include "sim/simulator.h"
 #include "test_util.h"
+#include "util/worker_pool.h"
 
 namespace ftss {
 namespace {
@@ -78,6 +80,121 @@ TEST(ParallelSweep, NonTrivialResultsStayOrdered) {
     ASSERT_EQ(results[i].size(), i % 7 + 1);
     EXPECT_EQ(results[i].front(), static_cast<int>(i));
   }
+}
+
+// Satellite regression for the claim loop: the counter advances by CAS to
+// min(count, begin + chunk), so the boundary where the tail is one short of
+// (or one past) a whole number of chunks must still cover every index
+// exactly once.  chunk = max(1, count / (8 * workers)), so count =
+// 8 * workers * chunk makes the grid divide evenly and ±1 exercises both
+// ragged tails.
+TEST(ParallelSweep, ChunkBoundaryCountsCoverExactlyOnce) {
+  for (unsigned workers : {2u, 4u, 8u}) {
+    const std::size_t chunk = 5;
+    const std::size_t even = 8 * workers * chunk;
+    for (const std::size_t count : {even - 1, even, even + 1}) {
+      std::vector<std::atomic<int>> hits(count);
+      auto results = parallel_sweep<std::size_t>(
+          count,
+          [&hits](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+            return i;
+          },
+          workers);
+      ASSERT_EQ(results.size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "i=" << i << " count=" << count << " workers=" << workers;
+        ASSERT_EQ(results[i], i);
+      }
+    }
+  }
+}
+
+TEST(WorkerPool, SplitIsContiguousExhaustiveAndBalanced) {
+  for (std::size_t count : {0u, 1u, 7u, 64u, 1013u}) {
+    for (std::size_t tasks : {1u, 2u, 3u, 8u, 64u}) {
+      std::size_t expect_begin = 0;
+      for (std::size_t t = 0; t < tasks; ++t) {
+        const auto [begin, end] = WorkerPool::split(count, tasks, t);
+        EXPECT_EQ(begin, expect_begin) << count << "/" << tasks << "/" << t;
+        EXPECT_LE(begin, end);
+        // Balanced: no range is more than one larger than another.
+        EXPECT_LE(end - begin, count / tasks + 1);
+        expect_begin = end;
+      }
+      EXPECT_EQ(expect_begin, count);
+    }
+  }
+}
+
+TEST(WorkerPool, RunTasksInvokesEachTaskExactlyOnce) {
+  WorkerPool pool(4);
+  for (std::size_t tasks : {0u, 1u, 3u, 4u, 17u, 100u}) {
+    std::vector<std::atomic<int>> hits(tasks);
+    pool.run_tasks(tasks, [&](std::size_t t) {
+      hits[t].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t t = 0; t < tasks; ++t) {
+      EXPECT_EQ(hits[t].load(), 1) << "tasks=" << tasks << " t=" << t;
+    }
+  }
+}
+
+TEST(WorkerPool, EnsureLanesGrowsAndNeverShrinks) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.lanes(), 1u);
+  pool.ensure_lanes(4);
+  EXPECT_EQ(pool.lanes(), 4u);
+  pool.ensure_lanes(2);  // no-op: never shrinks
+  EXPECT_EQ(pool.lanes(), 4u);
+  // Grown lanes still run batches to completion.
+  std::atomic<int> total{0};
+  pool.run_tasks(64, [&](std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(WorkerPool, NestedRunTasksExecutesInline) {
+  WorkerPool pool(4);
+  EXPECT_FALSE(WorkerPool::on_pool_thread());
+  std::vector<std::atomic<int>> outer_hits(8);
+  pool.run_tasks(8, [&](std::size_t t) {
+    EXPECT_TRUE(WorkerPool::on_pool_thread());
+    // A nested batch must not deadlock on the busy pool; it runs inline on
+    // this worker, sequentially and in task order.
+    std::vector<std::size_t> order;
+    WorkerPool::shared().run_tasks(3, [&](std::size_t inner) {
+      order.push_back(inner);
+    });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+    outer_hits[t].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_FALSE(WorkerPool::on_pool_thread());
+  for (auto& h : outer_hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, LowestIndexedExceptionWinsDeterministically) {
+  WorkerPool pool(4);
+  // Tasks 3..15 all throw; whichever thread gets there first, the rethrown
+  // error must be task 3's (lowest index), so failures are reproducible.
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    try {
+      pool.run_tasks(16, [](std::size_t t) {
+        if (t >= 3) throw std::runtime_error("task " + std::to_string(t));
+      });
+      FAIL() << "batch with throwing tasks did not rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3");
+    }
+  }
+  // The pool survives a throwing batch: the next one runs normally.
+  std::atomic<int> total{0};
+  pool.run_tasks(16, [&](std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 16);
 }
 
 TEST(ParallelSweep, SimulationsAreIndependentAcrossThreads) {
