@@ -1,106 +1,75 @@
 // A replicated key-value store on top of the self-stabilizing repeated
 // consensus — what a downstream user actually builds with this library.
 //
-// Each consensus instance decides one command; every replica applies decided
-// commands in instance order to its local map.  We corrupt every node's
-// consensus and detector state mid-deployment (a systemic failure), crash
-// one replica, and show that (a) the command log keeps advancing, (b) the
-// surviving replicas' stores converge to identical contents built from
-// post-stabilization commands, and (c) the corrupted prefix is bounded.
+// This example drives the src/svc/ serving stack: a closed-loop client
+// population submits commands to a batching request plane, consensus
+// instances decide batches, and every replica applies the decided log to
+// its local store.  We corrupt every node's consensus and detector state
+// mid-deployment (a systemic failure) and crash one replica, then show that
+// (a) the service keeps completing client requests, (b) the surviving
+// replicas' stores converge to identical contents, and (c) the corrupted
+// command prefix is bounded — the log is clean from some instance on.
 //
 //   ./build/examples/replicated_kv
 #include <cstdio>
-#include <map>
 
-#include "consensus/harness.h"
-#include "util/rng.h"
+#include "svc/service.h"
 
 using namespace ftss;
-
-namespace {
-
-// The client workload: instance i's proposer p offers "set k<i%4> = <value>".
-// In a real deployment proposals come from client queues; a deterministic
-// generator stands in for them (every process must be able to derive its
-// proposal locally — same contract as the paper's repeated protocols).
-InputSource workload() {
-  return [](ProcessId p, std::int64_t instance) {
-    Value cmd;
-    cmd["key"] = Value("k" + std::to_string(instance % 4));
-    cmd["val"] = Value(100 * instance + p);
-    return cmd;
-  };
-}
-
-// Apply a decided command stream to a replica store.
-std::map<std::string, Value> materialize(const RepeatedConsensus& view) {
-  std::map<std::string, Value> store;
-  for (const auto& d : view.decisions()) {
-    const Value& key = d.value.at("key");
-    if (!key.is_string()) continue;  // garbage command from corrupted prefix
-    store[key.as_string()] = d.value.at("val");
-  }
-  return store;
-}
-
-}  // namespace
+using namespace ftss::svc;
 
 int main() {
-  const int n = 5;
-  ConsensusSystemConfig config;
-  config.n = n;
-  config.async.seed = 21;
+  SvcConfig config;
+  config.n = 5;
+  config.seed = 21;
+  config.batch = 8;
+  config.clients = 200;
+  config.read_permille = 200;  // 20% of ops are lease reads
+  config.horizon = 30000;
 
-  auto sim = build_repeated_consensus_system(config, workload());
+  // Systemic failure at every replica at t=6000; crash replica 4 at t=3000.
+  config.plan = corruption_wave(config.n, 6000, /*seed=*/77);
+  config.plan.crashes.push_back({4, 3000});
 
-  // Systemic failure at every replica; crash replica 4 at t=3000.
-  Rng rng(77);
-  for (ProcessId p = 0; p < n; ++p) {
-    Value host;
-    host["rcons"] = Value::map(
-        {{"k", Value(rng.uniform(0, 40))},
-         {"inner", make_corrupt_state(CorruptionPattern::kFull, p, n, rng)
-                       .at("cons")}});
-    host["gfd"] =
-        make_corrupt_state(CorruptionPattern::kDetector, p, n, rng).at("gfd");
-    sim->corrupt_state(p, host);
+  KvService service(std::move(config));
+  service.run();
+  const SvcReport report = service.report();
+
+  std::printf("%s\n", report.summary().c_str());
+  std::printf("decided instances: %lld; commands decided: %lld "
+              "(retransmitted %lld, skipped instances %lld)\n",
+              static_cast<long long>(report.instances_decided),
+              static_cast<long long>(report.commands_decided),
+              static_cast<long long>(report.commands_retransmitted),
+              static_cast<long long>(report.instances_skipped));
+  if (report.clean_from) {
+    std::printf("command stream clean from instance %lld onward "
+                "(%lld dirty before that)\n",
+                static_cast<long long>(*report.clean_from),
+                static_cast<long long>(report.dirty_instances));
   }
-  sim->schedule_crash(4, 3000);
-
-  const Time horizon = 60000;
-  sim->run_until(horizon);
-
-  auto analysis = analyze_repeated_async(*sim, workload(), horizon - 2000);
-  auto clean_from = analysis.clean_from(/*correct_count=*/n - 1);
-  std::printf("decided instances: %zu; clean (valid) instances: %d\n",
-              analysis.instances.size(),
-              analysis.clean_count(n - 1));
-  if (clean_from) {
-    std::printf("command stream clean from instance %lld onward\n",
-                static_cast<long long>(*clean_from));
-  }
+  std::printf("reads: %lld served within the lease bound, %lld rejected "
+              "as stale\n",
+              static_cast<long long>(report.reads_served),
+              static_cast<long long>(report.reads_rejected_stale));
 
   // Replica stores: identical across survivors.
-  std::map<std::string, Value> reference;
-  bool all_equal = true;
-  for (ProcessId p = 0; p < n; ++p) {
-    if (sim->crashed(p)) continue;
-    auto store = materialize(*repeated_view(*sim, p));
-    if (reference.empty()) {
-      reference = store;
-    } else if (store != reference) {
-      all_equal = false;
-    }
-  }
   std::printf("\nreplica stores identical across survivors: %s\n",
-              all_equal ? "yes" : "NO");
-  std::printf("store contents (%zu keys):\n", reference.size());
-  for (const auto& [key, val] : reference) {
+              report.converged_full ? "yes" : "NO");
+  const KvStore& store = service.store(0);
+  std::printf("store contents (%zu keys), replica 0:\n", store.size());
+  int shown = 0;
+  for (const auto& [key, val] : store.data()) {
+    if (++shown > 8) {
+      std::printf("  ... (%zu more)\n", store.size() - 8);
+      break;
+    }
     std::printf("  %s = %s\n", key.c_str(), val.to_string().c_str());
   }
 
-  const bool ok = all_equal && clean_from.has_value() &&
-                  analysis.clean_count(n - 1) > 50;
+  const bool ok = report.converged_full && report.converged_clean &&
+                  report.clean_from.has_value() &&
+                  report.requests_completed > 0;
   std::printf("\nself-stabilizing fault-tolerant replication: %s\n",
               ok ? "working" : "BROKEN");
   return ok ? 0 : 1;

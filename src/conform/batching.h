@@ -1,0 +1,77 @@
+// Batching-transparency metamorphic oracle for the serving stack.
+//
+// The relation: running the SAME deterministic client workload through the
+// replicated-KV service with batch=1 (one command per consensus instance —
+// the original replicated_kv shape) and with batch=k must materialize
+// BYTE-IDENTICAL final stores on every replica, with identical applied /
+// deduped / garbage command totals.  Batching is a pure throughput knob; if
+// it can change observable state, the plane's assignment order, the batch
+// encode/decode pair, or the store's apply path is broken.
+//
+// Preconditions that make the relation exact (the sweep enforces them):
+// open-loop submission (completion timing must not feed back into the
+// workload), a bounded op count per client, no fault plan, and a drain
+// phase so every submitted command decides and applies in both legs.
+//
+// The deliberate-breakage hook (`sabotage`, applied to decided values in
+// the batch=k leg only) lets tests prove the oracle has teeth: dropping the
+// tail command of every multi-command batch must be caught.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/value.h"
+
+namespace ftss {
+
+struct BatchingOracleConfig {
+  std::uint64_t seed = 42;
+  int trials = 12;     // workloads; each compares batch=1 against each k
+  unsigned jobs = 0;   // sweep threads (0 = one per hardware thread)
+  std::vector<int> batches = {4, 16, 64};
+  // TEST HOOK: transform decided values in the batch=k leg.
+  std::function<Value(const Value&)> sabotage;
+};
+
+struct BatchingCellResult {
+  std::uint64_t workload_seed = 0;
+  int batch = 1;
+  bool drained = false;     // both legs drained (precondition held)
+  bool stores_equal = false;
+  bool totals_equal = false;
+  std::uint64_t store_fp_batch1 = 0;
+  std::uint64_t store_fp_batchk = 0;
+  std::int64_t commands = 0;  // submitted per leg
+
+  bool ok() const { return drained && stores_equal && totals_equal; }
+  std::string describe() const;
+};
+
+struct BatchingOracleReport {
+  int trials = 0;
+  int cells = 0;
+  int mismatches = 0;
+  std::vector<BatchingCellResult> failures;
+  // Deterministic fold over every cell in (trial, batch) order — identical
+  // for any jobs count; pinned by the conform test battery.
+  std::uint64_t fingerprint = 0;
+
+  bool ok() const { return mismatches == 0; }
+  std::string summary() const;
+};
+
+// One cell: the given workload seed, batch=1 vs batch=k.
+BatchingCellResult check_batching(
+    std::uint64_t workload_seed, int batch,
+    const std::function<Value(const Value&)>& sabotage = nullptr);
+
+BatchingOracleReport svc_batching_sweep(const BatchingOracleConfig& config);
+
+// The canonical sabotage: drop the last command of every multi-command
+// batch (invisible at batch=1, fatal at batch=k).
+Value sabotage_drop_last(const Value& decision);
+
+}  // namespace ftss

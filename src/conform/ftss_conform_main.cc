@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "conform/batching.h"
 #include "conform/conform.h"
 #include "obs/flight.h"
 #include "sim/simulator.h"
@@ -32,6 +33,9 @@ void usage() {
                "                   output for any K — pair with --jobs 1\n"
                "  --no-shrink      report divergent plans without shrinking\n"
                "  --max-failures K divergent plans to keep (default 3)\n"
+               "  --svc-batching   run the serving-layer batching-\n"
+               "                   transparency sweep instead (batch=1 vs\n"
+               "                   batch=k final stores; --trials workloads)\n"
                "  --replay FILE    run the oracle battery on one plan JSON\n"
                "  --lockstep FILE  run only the differential leg, print both\n"
                "                   history fingerprints\n"
@@ -158,6 +162,7 @@ int transport(const std::string& path) {
 
 int main(int argc, char** argv) {
   ftss::ConformConfig config;
+  bool svc_batching = false;
   std::string replay_path;
   std::string lockstep_path;
   std::string transport_path;
@@ -184,6 +189,8 @@ int main(int argc, char** argv) {
       config.shrink = false;
     } else if (arg == "--max-failures") {
       config.max_failures = std::atoi(next());
+    } else if (arg == "--svc-batching") {
+      svc_batching = true;
     } else if (arg == "--replay") {
       replay_path = next();
     } else if (arg == "--lockstep") {
@@ -201,6 +208,19 @@ int main(int argc, char** argv) {
   if (!replay_path.empty()) return replay(replay_path);
   if (!lockstep_path.empty()) return lockstep(lockstep_path);
   if (!transport_path.empty()) return transport(transport_path);
+
+  if (svc_batching) {
+    ftss::BatchingOracleConfig batching;
+    batching.seed = config.seed;
+    // The standard sweep defaults to 240 plans; the batching relation runs
+    // two full service legs per cell, so scale down when untouched.
+    batching.trials = config.trials == 240 ? 12 : config.trials;
+    batching.jobs = config.jobs;
+    const ftss::BatchingOracleReport report =
+        ftss::svc_batching_sweep(batching);
+    std::cout << report.summary();
+    return report.ok() ? 0 : 1;
+  }
 
   const ftss::ConformReport report = ftss::conform_sweep(config);
   std::cout << report.summary();

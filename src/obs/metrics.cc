@@ -27,6 +27,24 @@ const std::vector<std::int64_t>& bounds_for(BoundsFamily family) {
       }();
       return bounds;
     }
+    case BoundsFamily::kSimTime: {
+      static const std::vector<std::int64_t> bounds = [] {
+        std::vector<std::int64_t> b;
+        for (std::int64_t v = 1; v <= (std::int64_t{1} << 21); v <<= 1) {
+          b.push_back(v);
+        }
+        return b;
+      }();
+      return bounds;
+    }
+    case BoundsFamily::kBatchFill: {
+      static const std::vector<std::int64_t> bounds = [] {
+        std::vector<std::int64_t> b{0};
+        for (std::int64_t v = 1; v <= 4096; v <<= 1) b.push_back(v);
+        return b;
+      }();
+      return bounds;
+    }
   }
   static const std::vector<std::int64_t> empty;
   return empty;

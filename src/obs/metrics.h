@@ -41,6 +41,13 @@ enum class BoundsFamily {
   kRounds,        // stabilization latency: {0,1,2,4,...,32} rounds
   kCoterieSize,   // {0,1,2,4,...,64} processes
   kLatencyNanos,  // log-bucketed (HDR-style) powers of two, 64ns..~17s
+  // Simulated-time latency (EventSimulator Time units).  Unlike
+  // kLatencyNanos these observations are pure functions of the seed, so
+  // histograms over them are NOT wall_clock-flagged: they participate in
+  // stable fingerprints, which is how the serving layer pins its
+  // request-latency distributions.
+  kSimTime,       // powers of two, 1..2^21 sim-time units
+  kBatchFill,     // commands per consensus batch: {0,1,2,4,...,4096}
 };
 const std::vector<std::int64_t>& bounds_for(BoundsFamily family);
 

@@ -1,0 +1,96 @@
+#include "svc/kv.h"
+
+#include <vector>
+
+namespace ftss::svc {
+
+Value Command::encode() const {
+  Value v;
+  v["key"] = Value(key);
+  v["val"] = val;
+  if (client >= 0) {
+    v["client"] = Value(client);
+    v["seq"] = Value(seq);
+  }
+  return v;
+}
+
+std::optional<Command> decode_command(const Value& v) {
+  if (!v.is_map()) return std::nullopt;
+  const Value& key = v.at("key");
+  if (!key.is_string()) return std::nullopt;  // the example's garbage skip
+  if (!v.contains("val")) return std::nullopt;
+  Command cmd;
+  cmd.key = key.as_string();
+  cmd.val = v.at("val");
+  cmd.client = v.at("client").int_or(-1);
+  cmd.seq = v.at("seq").int_or(-1);
+  return cmd;
+}
+
+Value encode_batch(const std::vector<Command>& commands) {
+  if (commands.empty()) return Value();
+  if (commands.size() == 1) return commands.front().encode();
+  Value::Array batch;
+  batch.reserve(commands.size());
+  for (const Command& cmd : commands) batch.push_back(cmd.encode());
+  return Value(std::move(batch));
+}
+
+const Value& KvStore::get(std::string_view key) const {
+  static const Value null;
+  auto it = data_.find(key);
+  return it == data_.end() ? null : it->second;
+}
+
+void KvStore::apply_one(const Value& cmd_value, ApplyStats& stats) {
+  const std::optional<Command> cmd = decode_command(cmd_value);
+  if (!cmd) {
+    ++stats.garbage;
+    ++garbage_total_;
+    return;
+  }
+  if (cmd->client >= 0) {
+    auto [it, inserted] = last_seq_.try_emplace(cmd->client, cmd->seq);
+    if (!inserted) {
+      if (cmd->seq <= it->second) {
+        ++stats.deduped;
+        ++deduped_total_;
+        return;
+      }
+      it->second = cmd->seq;
+    }
+  }
+  if (cmd->val.is_null()) {
+    data_.erase(cmd->key);
+  } else {
+    data_[cmd->key] = cmd->val;
+  }
+  ++stats.applied;
+  ++applied_total_;
+}
+
+ApplyStats KvStore::apply_decision(const Value& decision) {
+  ApplyStats stats;
+  if (decision.is_null()) {
+    stats.empty = true;
+    return stats;
+  }
+  if (decision.is_array()) {
+    const Value::Array& batch = decision.as_array();
+    if (batch.empty()) {
+      stats.empty = true;
+      return stats;
+    }
+    for (const Value& cmd : batch) apply_one(cmd, stats);
+    return stats;
+  }
+  apply_one(decision, stats);
+  return stats;
+}
+
+std::uint64_t KvStore::fingerprint() const { return to_value().hash(); }
+
+Value KvStore::to_value() const { return Value(data_); }
+
+}  // namespace ftss::svc

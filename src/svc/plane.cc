@@ -1,0 +1,74 @@
+#include "svc/plane.h"
+
+namespace ftss::svc {
+
+void RequestPlane::submit(Command cmd) {
+  queue_.push_back(std::move(cmd));
+  ++submitted_;
+}
+
+Value RequestPlane::proposal(std::int64_t instance) {
+  auto it = proposals_.find(instance);
+  if (it != proposals_.end()) return it->second;
+
+  // Outside the pipeline window (or nothing queued): the empty heartbeat
+  // batch keeps the log advancing without consuming client commands.
+  const bool window_open = instance <= applied_floor_ + pipeline_depth_;
+  if (!window_open || queue_.empty()) {
+    if (!window_open && !queue_.empty()) ++proposals_empty_backpressure_;
+    proposals_.emplace(instance, Value());
+    return Value();
+  }
+
+  Assignment assignment;
+  while (!queue_.empty() &&
+         static_cast<int>(assignment.commands.size()) < batch_) {
+    assignment.commands.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  Value batch = encode_batch(assignment.commands);
+  proposals_.emplace(instance, batch);
+  assignments_.emplace(instance, std::move(assignment));
+  return batch;
+}
+
+void RequestPlane::on_decided(std::int64_t instance) {
+  auto it = assignments_.find(instance);
+  if (it != assignments_.end()) it->second.decided = true;
+}
+
+std::int64_t RequestPlane::reclaim(std::int64_t max_decided, std::int64_t gap) {
+  std::int64_t requeued = 0;
+  // Walk stale assignments oldest-first so re-queued commands keep their
+  // original relative order at the front of the queue.
+  std::vector<Command> rescued;
+  for (auto& [instance, assignment] : assignments_) {
+    if (instance + gap > max_decided) break;
+    if (assignment.decided || assignment.reclaimed) continue;
+    assignment.reclaimed = true;
+    for (Command& cmd : assignment.commands) {
+      rescued.push_back(cmd);
+      ++requeued;
+    }
+  }
+  for (auto it = rescued.rbegin(); it != rescued.rend(); ++it) {
+    queue_.push_front(std::move(*it));
+  }
+  retransmitted_ += requeued;
+  return requeued;
+}
+
+const Value* RequestPlane::find_proposal(std::int64_t instance) const {
+  auto it = proposals_.find(instance);
+  return it == proposals_.end() ? nullptr : &it->second;
+}
+
+bool RequestPlane::drained() const {
+  if (!queue_.empty()) return false;
+  for (const auto& [instance, assignment] : assignments_) {
+    if (!assignment.decided && !assignment.reclaimed) return false;
+  }
+  return true;
+}
+
+}  // namespace ftss::svc

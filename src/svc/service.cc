@@ -1,0 +1,577 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "sim/corrupt.h"
+
+namespace ftss::svc {
+
+namespace {
+
+// splitmix64: the per-(client, seq) op generator.  A full Rng per client
+// would cost ~2.5KB each (mt19937_64) — unaffordable at 10^6 clients — and
+// closed-loop completion order must not perturb other clients' draws, so
+// every op is an independent hash of (service seed, client, seq).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t op_hash(std::uint64_t seed, std::int64_t c, std::int64_t seq) {
+  return mix64(seed ^ mix64(static_cast<std::uint64_t>(c) * 0x100000001b3ULL +
+                            static_cast<std::uint64_t>(seq)));
+}
+
+std::uint64_t pack_request(std::int64_t client, std::int64_t seq) {
+  return (static_cast<std::uint64_t>(client) << 32) |
+         (static_cast<std::uint64_t>(seq) & 0xffffffffULL);
+}
+
+// Commands carried by one decided value (0 for empty / garbage shapes).
+std::int64_t batch_size_of(const Value& decision) {
+  if (decision.is_array()) {
+    return static_cast<std::int64_t>(decision.as_array().size());
+  }
+  return decision.is_map() ? 1 : 0;
+}
+
+void for_each_command(const Value& decision,
+                      const std::function<void(const Value&)>& fn) {
+  if (decision.is_array()) {
+    for (const Value& cmd : decision.as_array()) fn(cmd);
+  } else if (!decision.is_null()) {
+    fn(decision);
+  }
+}
+
+}  // namespace
+
+// --- fault plans ------------------------------------------------------------
+
+std::string SvcFaultPlan::describe() const {
+  std::string out = "crashes=" + std::to_string(crashes.size());
+  out += " corruptions=" + std::to_string(corruptions.size());
+  if (!corruptions.empty()) {
+    out += " (";
+    out += corruption_pattern_name(corruptions.front().pattern);
+    out += "@t=" + std::to_string(corruptions.front().at) + ")";
+  }
+  return out;
+}
+
+SvcFaultPlan sample_svc_plan(std::uint64_t seed, int n, Time horizon) {
+  SvcFaultPlan plan;
+  Rng rng(seed ^ 0x53564350ULL);  // "SVCP"
+  const int max_crashes = (n - 1) / 2;
+  const int crashes = static_cast<int>(rng.uniform(0, max_crashes));
+  std::vector<int> victims = rng.sample(n, crashes);
+  for (int p : victims) {
+    plan.crashes.push_back(
+        {static_cast<ProcessId>(p), rng.uniform(horizon / 4, 3 * horizon / 4)});
+  }
+  if (rng.chance(0.7)) {
+    static constexpr CorruptionPattern kPatterns[] = {
+        CorruptionPattern::kPhaseFlags, CorruptionPattern::kRoundCounters,
+        CorruptionPattern::kDetector, CorruptionPattern::kFull};
+    const CorruptionPattern pattern = kPatterns[rng.uniform(0, 3)];
+    const Time at = rng.uniform(horizon / 8, horizon / 2);
+    std::vector<int> hit;
+    if (rng.chance(0.5)) {
+      for (int p = 0; p < n; ++p) hit.push_back(p);  // full systemic wave
+    } else {
+      hit = rng.sample(n, static_cast<int>(rng.uniform(1, n)));
+      std::sort(hit.begin(), hit.end());
+    }
+    for (int p : hit) {
+      plan.corruptions.push_back({static_cast<ProcessId>(p), at, pattern,
+                                  static_cast<std::uint64_t>(
+                                      rng.uniform(1, 1'000'000'000))});
+    }
+  }
+  return plan;
+}
+
+SvcFaultPlan corruption_wave(int n, Time at, std::uint64_t seed) {
+  SvcFaultPlan plan;
+  for (int p = 0; p < n; ++p) {
+    plan.corruptions.push_back({static_cast<ProcessId>(p), at,
+                                CorruptionPattern::kFull, seed + p});
+  }
+  return plan;
+}
+
+Value corrupt_host_state(CorruptionPattern pattern, ProcessId p, int n,
+                         Rng& rng) {
+  // Only the channels the pattern targets appear in the result; the caller
+  // overlays them on the live host snapshot so untargeted modules keep
+  // their state (a detector-only corruption leaves consensus intact).
+  Value corrupt = make_corrupt_state(pattern, p, n, rng);
+  Value host;
+  if (corrupt.contains("cons")) {
+    Value rc;
+    rc["k"] = Value(rng.uniform(0, 400));
+    rc["inner"] = corrupt.at("cons");
+    host["rcons"] = std::move(rc);
+  }
+  if (corrupt.contains("gfd")) host["gfd"] = corrupt.at("gfd");
+  if (corrupt.contains("hb")) host["hb"] = corrupt.at("hb");
+  return host;
+}
+
+// --- construction -----------------------------------------------------------
+
+KvService::KvService(SvcConfig config) : config_(std::move(config)) {
+  config_.async.seed = config_.seed;
+  plane_ = std::make_unique<RequestPlane>(config_.batch,
+                                          config_.pipeline_depth);
+  replicas_.resize(config_.n);
+  client_next_seq_.assign(config_.clients, 0);
+
+  ConsensusSystemConfig sys;
+  sys.n = config_.n;
+  sys.async = config_.async;
+  RequestPlane* plane = plane_.get();
+  sim_ = build_repeated_consensus_system(
+      sys, [plane](ProcessId, std::int64_t instance) {
+        return plane->proposal(instance);
+      });
+
+  for (const auto& crash : config_.plan.crashes) {
+    sim_->schedule_crash(crash.process, crash.at);
+  }
+  pending_corruptions_ = config_.plan.corruptions;
+  std::stable_sort(pending_corruptions_.begin(), pending_corruptions_.end(),
+                   [](const auto& a, const auto& b) { return a.at < b.at; });
+
+  // First submit per client, staggered deterministically over the arrival
+  // window (independent of population size for the early clients).
+  for (std::int64_t c = 0; c < config_.clients; ++c) {
+    const Time spread = std::max<Time>(config_.arrival_spread, 1);
+    schedule_client(c, static_cast<Time>(op_hash(config_.seed, c, -1) %
+                                         static_cast<std::uint64_t>(spread)));
+  }
+}
+
+KvService::~KvService() = default;
+
+// --- clients ----------------------------------------------------------------
+
+KvService::ClientOp KvService::client_op(std::int64_t c,
+                                         std::int64_t seq) const {
+  const std::uint64_t h = op_hash(config_.seed, c, seq);
+  ClientOp op;
+  op.read = static_cast<int>(h % 1000) < config_.read_permille;
+  op.key = static_cast<std::int64_t>((h >> 10) %
+                                     static_cast<std::uint64_t>(
+                                         std::max<std::int64_t>(
+                                             config_.keyspace, 1)));
+  op.val = static_cast<std::int64_t>((h >> 16) % 1'000'000'000ULL);
+  const Time span = std::max<Time>(config_.think_max - config_.think_min, 0);
+  op.think =
+      config_.think_min +
+      static_cast<Time>((h >> 32) % static_cast<std::uint64_t>(span + 1));
+  return op;
+}
+
+void KvService::schedule_client(std::int64_t c, Time at) {
+  due_.push({at, c});
+}
+
+void KvService::issue_client_ops(Time now) {
+  while (!due_.empty() && due_.top().first <= now) {
+    const std::int64_t c = due_.top().second;
+    due_.pop();
+    const std::int64_t seq = client_next_seq_[c];
+    if (config_.max_ops_per_client >= 0 &&
+        seq >= config_.max_ops_per_client) {
+      continue;
+    }
+    const ClientOp op = client_op(c, seq);
+    ++client_next_seq_[c];
+    if (op.read) {
+      serve_read(c, op, now);
+      schedule_client(c, now + op.think);  // reads complete immediately
+      continue;
+    }
+    Command cmd;
+    cmd.key = "k" + std::to_string(op.key);
+    cmd.val = Value(op.val);
+    cmd.client = c;
+    cmd.seq = seq;
+    plane_->submit(std::move(cmd));
+    outstanding_.emplace(pack_request(c, seq), now);
+    ++requests_submitted_;
+    if (!config_.closed_loop) {
+      // Open loop: the next op's submit time is fixed at issue time,
+      // independent of when (or whether) this write completes.
+      schedule_client(c, now + op.think);
+    }
+  }
+}
+
+void KvService::serve_read(std::int64_t c, const ClientOp& op, Time now) {
+  // Lease failover: the client's home replica, or the next live one.
+  ProcessId serving = -1;
+  for (int i = 0; i < config_.n; ++i) {
+    const ProcessId p = static_cast<ProcessId>((c + i) % config_.n);
+    if (!sim_->crashed(p)) {
+      serving = p;
+      break;
+    }
+  }
+  if (serving < 0) {
+    ++reads_rejected_;
+    return;
+  }
+  const Replica& rs = replicas_[serving];
+  // The lease: serve locally only when the applied state is provably
+  // fresh — the newest applied instance decided within lease_bound.  A
+  // replica whose application lags (corrupted era, backlog, partition from
+  // decisions) must reject rather than return stale data, even if it is
+  // still applying old instances at a steady pace.
+  const Time staleness =
+      now - std::max<Time>(rs.last_applied_decide_time, 0);
+  if (staleness > config_.lease_bound) {
+    ++reads_rejected_;
+    return;
+  }
+  (void)rs.store.get("k" + std::to_string(op.key));
+  metrics_.observe("svc_read_staleness", staleness,
+                   bounds_for(BoundsFamily::kSimTime));
+  ++reads_served_;
+}
+
+void KvService::complete_request(std::int64_t c, std::int64_t seq, Time now) {
+  auto it = outstanding_.find(pack_request(c, seq));
+  if (it == outstanding_.end()) return;  // duplicate decide or dedup'd apply
+  metrics_.observe("svc_request_latency", now - it->second,
+                   bounds_for(BoundsFamily::kSimTime));
+  outstanding_.erase(it);
+  ++requests_completed_;
+  if (config_.closed_loop) {
+    schedule_client(c, now + client_op(c, seq).think);
+  }
+}
+
+// --- the pump ---------------------------------------------------------------
+
+void KvService::scan_logs(Time now) {
+  (void)now;
+  for (int p = 0; p < config_.n; ++p) {
+    Replica& rs = replicas_[p];
+    const auto& log = repeated_view(*sim_, p)->decisions();
+    for (; rs.log_consumed < log.size(); ++rs.log_consumed) {
+      const AsyncDecision& d = log[rs.log_consumed];
+      rs.pending.emplace(d.instance, std::make_pair(d.value, d.at_time));
+      auto [it, inserted] = decided_.try_emplace(
+          d.instance, DecidedMeta{d.value, d.at_time, true});
+      if (inserted) {
+        max_decided_ = std::max(max_decided_, d.instance);
+        plane_->on_decided(d.instance);
+        const std::int64_t fill = batch_size_of(d.value);
+        if (fill > 0) max_cmd_decided_ = std::max(max_cmd_decided_, d.instance);
+        metrics_.observe("svc_batch_fill", fill,
+                         bounds_for(BoundsFamily::kBatchFill));
+      } else {
+        it->second.first_time = std::min(it->second.first_time, d.at_time);
+        if (!(it->second.value == d.value)) it->second.agreed = false;
+      }
+    }
+  }
+}
+
+void KvService::apply_decided(Time now) {
+  for (int p = 0; p < config_.n; ++p) {
+    if (sim_->crashed(p)) continue;
+    Replica& rs = replicas_[p];
+    // Learner catch-up (anti-entropy): merge decisions other replicas
+    // logged that this one missed — the harness-level analog of the
+    // old-instance DECIDE gossip inside RepeatedConsensus.  Because every
+    // log is scanned before anyone applies, a hole can only be skipped
+    // when NO replica holds its decision, which keeps skips symmetric
+    // across live replicas (asymmetric skips would diverge the stores).
+    for (auto it = decided_.lower_bound(rs.applied_through);
+         it != decided_.end(); ++it) {
+      rs.pending.emplace(it->first,
+                         std::make_pair(it->second.value,
+                                        it->second.first_time));
+    }
+    while (!rs.pending.empty()) {
+      auto it = rs.pending.begin();
+      if (it->first < rs.applied_through) {
+        // A DECIDE for an instance this replica already skipped past.
+        // Applying it out of order would diverge from replicas that applied
+        // it in order; it belongs to the corrupted era either way.
+        ++rs.late_learns_dropped;
+        rs.pending.erase(it);
+        continue;
+      }
+      if (it->first > rs.applied_through) {
+        // A hole.  Only skip once the decided log has left it behind by
+        // skip_gap (it is then overwhelmingly a corrupted-era orphan whose
+        // commands reclaim() re-proposes).  JUMP straight to the next
+        // pending instance: a corrupted counter can sit at 10^15 and
+        // stepping one-by-one would never terminate.
+        if (max_decided_ >= rs.applied_through + config_.skip_gap) {
+          rs.instances_skipped += it->first - rs.applied_through;
+          rs.applied_through = it->first;
+        } else {
+          break;
+        }
+      }
+      if (config_.apply_delay > 0 &&
+          now < it->second.second + config_.apply_delay) {
+        break;
+      }
+      const Value decision = config_.decision_transform
+                                 ? config_.decision_transform(it->second.first)
+                                 : it->second.first;
+      rs.store.apply_decision(decision);
+      for_each_command(decision, [&](const Value& cmd) {
+        const std::int64_t client = cmd.at("client").int_or(-1);
+        if (client >= 0) complete_request(client, cmd.at("seq").int_or(-1), now);
+      });
+      rs.applied_through = it->first + 1;
+      rs.last_applied_decide_time =
+          std::max(rs.last_applied_decide_time, it->second.second);
+      rs.pending.erase(it);
+    }
+  }
+}
+
+std::int64_t KvService::applied_floor() const {
+  // The floor the pipeline window keys off: the slowest live replica's
+  // application progress (crashed replicas no longer gate the window).
+  std::int64_t floor = -1;
+  bool any = false;
+  for (int p = 0; p < config_.n; ++p) {
+    if (sim_->crashed(p)) continue;
+    const std::int64_t through = replicas_[p].applied_through - 1;
+    floor = any ? std::min(floor, through) : through;
+    any = true;
+  }
+  return any ? floor : -1;
+}
+
+void KvService::inject_due_corruptions(Time upto) {
+  while (!pending_corruptions_.empty() &&
+         pending_corruptions_.front().at <= upto) {
+    const SvcFaultPlan::Corruption c = pending_corruptions_.front();
+    pending_corruptions_.erase(pending_corruptions_.begin());
+    if (sim_->crashed(c.process) || c.pattern == CorruptionPattern::kNone) {
+      continue;
+    }
+    Rng rng(c.seed);
+    Value host = sim_->process(c.process).snapshot_state();
+    const Value overlay =
+        corrupt_host_state(c.pattern, c.process, config_.n, rng);
+    if (overlay.is_map()) {
+      for (const auto& [channel, state] : overlay.as_map()) {
+        host[channel] = state;
+      }
+    }
+    sim_->process(c.process).restore_state(host);
+    metrics_.add("svc_corruptions_injected");
+  }
+}
+
+void KvService::pump(Time now) {
+  scan_logs(now);
+  apply_decided(now);
+  plane_->set_applied_floor(applied_floor());
+  if (max_decided_ >= 0) plane_->reclaim(max_decided_, config_.reclaim_gap);
+  issue_client_ops(now);
+  metrics_.gauge_max("svc_queue_depth_peak", plane_->pending_depth());
+  // Runahead of command-carrying instances over the applied floor: this is
+  // what the pipeline window bounds.  (The FULL log is deliberately
+  // unbounded — empty heartbeat instances keep it advancing while the
+  // window is closed.)
+  if (max_cmd_decided_ >= 0) {
+    metrics_.gauge_max(
+        "svc_cmd_lag_peak",
+        max_cmd_decided_ - std::max<std::int64_t>(applied_floor(), 0));
+  }
+}
+
+void KvService::step_to(Time t) {
+  sim_->run_until(t);
+  ran_until_ = t;
+  inject_due_corruptions(t);
+  pump(t);
+}
+
+void KvService::run() {
+  if (ran_) throw std::logic_error("KvService::run called twice");
+  Time t = 0;
+  while (t < config_.horizon) {
+    t = std::min<Time>(t + config_.pump_interval, config_.horizon);
+    step_to(t);
+  }
+  if (config_.drain_cap > 0) {
+    const Time cap = config_.horizon + config_.drain_cap;
+    while (ran_until_ < cap && !(plane_->drained() && outstanding_.empty())) {
+      t = std::min<Time>(t + config_.pump_interval, cap);
+      step_to(t);
+    }
+  }
+  metrics_.add("svc_requests_submitted", requests_submitted_);
+  metrics_.add("svc_requests_completed", requests_completed_);
+  metrics_.add("svc_reads_served", reads_served_);
+  metrics_.add("svc_reads_rejected_stale", reads_rejected_);
+  metrics_.add("svc_commands_retransmitted", plane_->retransmitted());
+  metrics_.add("svc_backpressure_proposals",
+               plane_->proposals_empty_backpressure());
+  ran_ = true;
+}
+
+// --- report -----------------------------------------------------------------
+
+SvcReport KvService::report() const {
+  if (!ran_) throw std::logic_error("KvService::report before run");
+  SvcReport r;
+  r.requests_submitted = requests_submitted_;
+  r.requests_completed = requests_completed_;
+  r.requests_outstanding = static_cast<std::int64_t>(outstanding_.size());
+  r.reads_served = reads_served_;
+  r.reads_rejected_stale = reads_rejected_;
+  r.commands_retransmitted = plane_->retransmitted();
+  r.horizon = config_.horizon;
+  r.ran_until = ran_until_;
+  r.drained = plane_->drained() && outstanding_.empty();
+  r.metrics = metrics_.snapshot();
+
+  auto lat = r.metrics.histograms.find("svc_request_latency");
+  if (lat != r.metrics.histograms.end()) {
+    r.latency_p50 = lat->second.percentile_upper(50);
+    r.latency_p90 = lat->second.percentile_upper(90);
+    r.latency_p99 = lat->second.percentile_upper(99);
+  }
+
+  // Instance-level facts: canonical = the decided value is exactly the
+  // plane's memoized proposal for that instance (anything else is a
+  // corrupted-era artifact); clean additionally requires agreement.
+  r.instances_decided = static_cast<std::int64_t>(decided_.size());
+  std::vector<std::pair<std::int64_t, bool>> clean_flags;
+  clean_flags.reserve(decided_.size());
+  for (const auto& [instance, meta] : decided_) {
+    const std::int64_t commands = batch_size_of(meta.value);
+    r.commands_decided += commands;
+    if (commands == 0) ++r.instances_empty;
+    const Value* proposal = plane_->find_proposal(instance);
+    const bool clean =
+        meta.agreed && proposal != nullptr && *proposal == meta.value;
+    clean_flags.emplace_back(instance, clean);
+    if (!clean) ++r.dirty_instances;
+  }
+  auto dirty_after = clean_flags.rend();
+  for (auto it = clean_flags.rbegin(); it != clean_flags.rend(); ++it) {
+    if (!it->second) break;
+    dirty_after = it;
+  }
+  if (dirty_after != clean_flags.rend()) r.clean_from = dirty_after->first;
+
+  // Survivor stores.
+  std::vector<ProcessId> survivors;
+  for (int p = 0; p < config_.n; ++p) {
+    if (!sim_->crashed(p)) survivors.push_back(p);
+    r.instances_skipped += replicas_[p].instances_skipped;
+    r.late_learns_dropped += replicas_[p].late_learns_dropped;
+  }
+  if (!survivors.empty()) {
+    const KvStore& first = replicas_[survivors.front()].store;
+    r.store_fingerprint = first.fingerprint();
+    r.converged_full = true;
+    for (ProcessId p : survivors) {
+      if (!(replicas_[p].store == first)) r.converged_full = false;
+    }
+  }
+
+  // Clean-era convergence: re-materialize each survivor's store from its own
+  // log restricted to the contiguous clean suffix every survivor knows.
+  if (r.clean_from && !survivors.empty()) {
+    std::vector<std::map<std::int64_t, Value>> logs;
+    for (ProcessId p : survivors) {
+      std::map<std::int64_t, Value> by_instance;
+      for (const AsyncDecision& d : repeated_view(*sim_, p)->decisions()) {
+        by_instance.emplace(d.instance, d.value);
+      }
+      logs.push_back(std::move(by_instance));
+    }
+    std::int64_t cutoff = max_decided_;
+    for (const auto& by_instance : logs) {
+      std::int64_t c = *r.clean_from - 1;
+      while (by_instance.count(c + 1)) ++c;
+      cutoff = std::min(cutoff, c);
+    }
+    if (cutoff >= *r.clean_from) {
+      r.converged_clean = true;
+      std::optional<std::uint64_t> reference;
+      for (const auto& by_instance : logs) {
+        KvStore store;
+        for (auto it = by_instance.lower_bound(*r.clean_from);
+             it != by_instance.end() && it->first <= cutoff; ++it) {
+          store.apply_decision(it->second);
+        }
+        const std::uint64_t fp = store.fingerprint();
+        if (!reference) {
+          reference = fp;
+        } else if (*reference != fp) {
+          r.converged_clean = false;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+// --- report serialization ---------------------------------------------------
+
+Value SvcReport::to_value() const {
+  Value v;
+  v["requests_submitted"] = Value(requests_submitted);
+  v["requests_completed"] = Value(requests_completed);
+  v["requests_outstanding"] = Value(requests_outstanding);
+  v["reads_served"] = Value(reads_served);
+  v["reads_rejected_stale"] = Value(reads_rejected_stale);
+  v["latency_p50"] = Value(latency_p50);
+  v["latency_p90"] = Value(latency_p90);
+  v["latency_p99"] = Value(latency_p99);
+  v["instances_decided"] = Value(instances_decided);
+  v["instances_empty"] = Value(instances_empty);
+  v["commands_decided"] = Value(commands_decided);
+  v["commands_retransmitted"] = Value(commands_retransmitted);
+  v["instances_skipped"] = Value(instances_skipped);
+  v["late_learns_dropped"] = Value(late_learns_dropped);
+  v["clean_from"] = clean_from ? Value(*clean_from) : Value();
+  v["dirty_instances"] = Value(dirty_instances);
+  v["converged_clean"] = Value(converged_clean);
+  v["converged_full"] = Value(converged_full);
+  v["store_fingerprint"] = Value(static_cast<std::int64_t>(store_fingerprint));
+  v["horizon"] = Value(horizon);
+  v["ran_until"] = Value(ran_until);
+  v["drained"] = Value(drained);
+  v["metrics"] = metrics.stable_value();
+  return v;
+}
+
+std::uint64_t SvcReport::fingerprint() const { return to_value().hash(); }
+
+std::string SvcReport::summary() const {
+  std::string out;
+  out += "requests " + std::to_string(requests_completed) + "/" +
+         std::to_string(requests_submitted) + " completed";
+  out += "; latency p50/p90/p99 = " + std::to_string(latency_p50) + "/" +
+         std::to_string(latency_p90) + "/" + std::to_string(latency_p99);
+  out += "; instances " + std::to_string(instances_decided) + " (" +
+         std::to_string(dirty_instances) + " dirty)";
+  if (clean_from) out += "; clean from " + std::to_string(*clean_from);
+  out += "; converged clean=" + std::string(converged_clean ? "yes" : "no") +
+         " full=" + std::string(converged_full ? "yes" : "no");
+  return out;
+}
+
+}  // namespace ftss::svc

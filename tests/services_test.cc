@@ -1,225 +1,340 @@
-// Leader election and atomic commitment — unit tests for the protocols and
-// end-to-end tests of the compiled, self-stabilizing services.
+// Service-level battery for the replicated-KV serving stack (src/svc/):
+// golden report fingerprints under crash + corruption plans (at worker
+// counts 1 and 8, pinning the parallel_sweep determinism contract),
+// applied-store convergence, bounded-corrupted-prefix, pipeline
+// backpressure, read leases, retransmit/dedup liveness, and the
+// batching-transparency oracle with its deliberate-breakage mutation.
+//
+// The pinned hex constants are load-bearing: they freeze the entire
+// client-visible behavior of the serving stack (request completions,
+// latency histograms, decided-log shape, store contents) as a pure
+// function of the config.  An intentional behavior change must re-pin
+// them; anything else touching them is a regression.
 #include <gtest/gtest.h>
 
-#include "core/compiler.h"
-#include "core/full_info.h"
-#include "protocols/atomic_commit.h"
-#include "protocols/leader_election.h"
-#include "protocols/repeated.h"
-#include "sim/corrupt.h"
-#include "sim/simulator.h"
+#include <algorithm>
+
+#include "conform/batching.h"
+#include "svc/service.h"
+#include "test_util.h"
+#include "util/parallel.h"
 
 namespace ftss {
 namespace {
 
-Message state_msg(ProcessId from, Value payload) {
-  return Message{from, 0, std::move(payload)};
-}
+using svc::KvService;
+using svc::KvStore;
+using svc::SvcConfig;
+using svc::SvcReport;
 
-// --- LeaderElection unit ------------------------------------------------------
-
-TEST(LeaderElection, InitialStateIsSelf) {
-  LeaderElection le(1);
-  Value s = le.initial_state(2, 4, Value());
-  EXPECT_EQ(s.at("ids"), Value::array({Value(2)}));
-}
-
-TEST(LeaderElection, ElectsMinimumSeen) {
-  LeaderElection le(0);  // final_round = 1
-  Value s = le.initial_state(3, 4, Value());
-  s = le.transition(3, 4, s,
-                    {state_msg(1, le.initial_state(1, 4, Value())),
-                     state_msg(2, le.initial_state(2, 4, Value()))},
-                    1);
-  EXPECT_EQ(le.decision(s), Value(1));
-}
-
-TEST(LeaderElection, GarbageIdsFiltered) {
-  LeaderElection le(1);
-  Value bad = Value::map(
-      {{"ids", Value::array({Value(-3), Value(99), Value("x"), Value(1)})}});
-  Value s = le.initial_state(2, 4, Value());
-  s = le.transition(2, 4, s, {state_msg(1, bad)}, 1);
-  EXPECT_EQ(s.at("ids"), Value::array({Value(1), Value(2)}));
-}
-
-TEST(LeaderElection, ValidityRejectsSmallerCorrectId) {
-  auto v = leader_validity();
-  DecisionRecord r0{.process = 0, .iteration = 0, .at_actual_round = 1,
-                    .value = Value(1), .input_used = Value()};
-  DecisionRecord r1{.process = 1, .iteration = 0, .at_actual_round = 1,
-                    .value = Value(1), .input_used = Value()};
-  std::vector<const DecisionRecord*> records{&r0, &r1};
-  EXPECT_FALSE(v(Value(1), records));  // 0 participated but 1 elected
-  std::vector<const DecisionRecord*> without_zero{&r1};
-  EXPECT_TRUE(v(Value(1), without_zero));
-  EXPECT_FALSE(v(Value("x"), without_zero));
-}
-
-// --- AtomicCommit unit ---------------------------------------------------------
-
-TEST(AtomicCommit, CommitsOnUnanimousYes) {
-  AtomicCommit ac(0);  // final_round = 1, n = 2
-  Value s = ac.initial_state(0, 2, Value(true));
-  s = ac.transition(0, 2, s, {state_msg(1, ac.initial_state(1, 2, Value(true)))},
-                    1);
-  EXPECT_EQ(ac.decision(s), Value("commit"));
-}
-
-TEST(AtomicCommit, AbortsOnAnyNo) {
-  AtomicCommit ac(0);
-  Value s = ac.initial_state(0, 2, Value(true));
-  s = ac.transition(0, 2, s,
-                    {state_msg(1, ac.initial_state(1, 2, Value(false)))}, 1);
-  EXPECT_EQ(ac.decision(s), Value("abort"));
-}
-
-TEST(AtomicCommit, AbortsOnMissingVote) {
-  AtomicCommit ac(0);
-  Value s = ac.initial_state(0, 3, Value(true));
-  s = ac.transition(0, 3, s,
-                    {state_msg(1, ac.initial_state(1, 3, Value(true)))}, 1);
-  EXPECT_EQ(ac.decision(s), Value("abort"));  // vote of process 2 missing
-}
-
-TEST(AtomicCommit, CorruptedVoteCannotForceCommit) {
-  AtomicCommit ac(0);
-  Value evil = Value::map({{"votes", Value::map({{"1", Value("yes")}})}});
-  Value s = ac.initial_state(0, 2, Value(true));
-  s = ac.transition(0, 2, s, {state_msg(1, evil)}, 1);
-  EXPECT_EQ(ac.decision(s), Value("abort"));  // non-bool vote counts as no
-}
-
-TEST(AtomicCommit, ConflictingVoteClaimsResolveToNo) {
-  AtomicCommit ac(1);
-  Value claim_yes = Value::map({{"votes", Value::map({{"2", Value(true)}})}});
-  Value claim_no = Value::map({{"votes", Value::map({{"2", Value(false)}})}});
-  Value s = ac.initial_state(0, 3, Value(true));
-  s = ac.transition(0, 3, s, {state_msg(1, claim_yes), state_msg(2, claim_no)},
-                    1);
-  EXPECT_EQ(s.at("votes").at("2"), Value(false));
-}
-
-TEST(AtomicCommit, CommitValidityRules) {
-  auto v = commit_validity(2);
-  DecisionRecord yes0{.process = 0, .iteration = 0, .at_actual_round = 1,
-                      .value = Value("commit"), .input_used = Value(true)};
-  DecisionRecord yes1{.process = 1, .iteration = 0, .at_actual_round = 1,
-                      .value = Value("commit"), .input_used = Value(true)};
-  DecisionRecord no1{.process = 1, .iteration = 0, .at_actual_round = 1,
-                     .value = Value("abort"), .input_used = Value(false)};
-  std::vector<const DecisionRecord*> both_yes{&yes0, &yes1};
-  std::vector<const DecisionRecord*> one_no{&yes0, &no1};
-  std::vector<const DecisionRecord*> partial{&yes0};
-  EXPECT_TRUE(v(Value("commit"), both_yes));
-  EXPECT_FALSE(v(Value("commit"), one_no));
-  // A missing record means a faulty voter; commit is still valid if it had
-  // spread a yes before failing — only a correct NO can refute a commit.
-  EXPECT_TRUE(v(Value("commit"), partial));
-  EXPECT_TRUE(v(Value("abort"), one_no));
-  EXPECT_TRUE(v(Value("abort"), partial));
-  EXPECT_FALSE(v(Value("abort"), both_yes));  // abort without excuse
-  EXPECT_FALSE(v(Value("garbage"), both_yes));
-}
-
-// --- Compiled services ----------------------------------------------------------
-
-TEST(CompiledLeaderElection, LeaderReplacedAfterCrash) {
-  const int n = 4, f = 1;
-  auto protocol = std::make_shared<LeaderElection>(f);
-  InputSource inputs = [](ProcessId, std::int64_t) { return Value(); };
-  SyncSimulator sim(SyncConfig{.seed = 1},
-                    compile_protocol(n, protocol, inputs));
-  sim.set_fault_plan(0, FaultPlan::crash(6));  // leader crashes mid-stream
-  sim.run_rounds(16);  // final_round = 2 -> 8 iterations
-  auto analysis = analyze_repeated(compiled_views(sim), sim.history().faulty(),
-                                   leader_validity());
-  ASSERT_GE(analysis.iterations.size(), 6u);
-  // Early iterations elect 0; after the crash the service re-elects 1.
-  EXPECT_EQ(analysis.iterations.front().decision, Value(0));
-  EXPECT_EQ(analysis.iterations.back().decision, Value(1));
-  // Every iteration decided by the survivors is clean.
-  for (const auto& it : analysis.iterations) {
-    EXPECT_TRUE(it.agreement) << it.iteration;
-    EXPECT_TRUE(it.complete) << it.iteration;
+// The four golden cells: {batch=1, batch=8} x {no faults, systemic wave +
+// crash}.  Small enough to run in well under a second each.
+SvcConfig golden_config(int cell) {
+  SvcConfig config;
+  config.n = 5;
+  config.seed = 7;
+  config.batch = (cell & 1) ? 8 : 1;
+  config.clients = 300;
+  config.read_permille = 150;
+  config.horizon = 12000;
+  if (cell & 2) {
+    config.plan = svc::corruption_wave(config.n, 3000, /*seed=*/19);
+    config.plan.crashes.push_back({1, 5000});
   }
-  // The handover takes at most 2 iterations after the crash round.
-  for (const auto& it : analysis.iterations) {
-    if (it.first_decided_round >= 6 + 2 * protocol->final_round()) {
-      EXPECT_EQ(it.decision, Value(1)) << it.iteration;
-    }
+  return config;
+}
+
+SvcReport run_service(SvcConfig config) {
+  KvService service(std::move(config));
+  service.run();
+  return service.report();
+}
+
+std::vector<std::uint64_t> golden_grid(unsigned jobs) {
+  return parallel_sweep<std::uint64_t>(
+      4, [](std::size_t cell) {
+        return run_service(golden_config(static_cast<int>(cell)))
+            .fingerprint();
+      },
+      jobs);
+}
+
+// --- golden pins -------------------------------------------------------------
+
+constexpr std::uint64_t kGoldenCells[4] = {
+    0xf67bbadc1eeb9df6,  // batch=1, no faults
+    0xe272ee01fedd5df1,  // batch=8, no faults
+    0xe61fc35cbefa239c,  // batch=1, wave + crash
+    0x671d88a6718d4800,  // batch=8, wave + crash
+};
+
+TEST(SvcGolden, ReportFingerprintsPinnedAndThreadInvariant) {
+  const std::vector<std::uint64_t> serial = golden_grid(1);
+  const std::vector<std::uint64_t> parallel = golden_grid(8);
+  EXPECT_EQ(serial, parallel)
+      << "svc report fingerprints must not depend on worker count";
+  for (int cell = 0; cell < 4; ++cell) {
+    EXPECT_EQ(serial[cell], kGoldenCells[cell])
+        << "cell " << cell << " fingerprint drifted: 0x" << std::hex
+        << serial[cell];
   }
 }
 
-TEST(CompiledLeaderElection, RecoversFromCorruption) {
-  const int n = 5, f = 2;
-  auto protocol = std::make_shared<LeaderElection>(f);
-  InputSource inputs = [](ProcessId, std::int64_t) { return Value(); };
-  SyncSimulator sim(SyncConfig{.seed = 2},
-                    compile_protocol(n, protocol, inputs));
-  Rng rng(2);
-  for (ProcessId p = 0; p < n; ++p) {
-    sim.corrupt_state(p, random_value(rng, 10'000));
-  }
-  sim.run_rounds(30);
-  auto analysis = analyze_repeated(compiled_views(sim), sim.history().faulty(),
-                                   leader_validity());
-  auto clean_from = analysis.clean_from(true);
-  ASSERT_TRUE(clean_from.has_value());
-  EXPECT_LE(*clean_from, 1 + 2 * protocol->final_round());
-  // Post-stabilization the stable leader is process 0.
-  EXPECT_EQ(analysis.iterations.back().decision, Value(0));
+TEST(SvcGolden, BatchingSweepFingerprintPinnedAndThreadInvariant) {
+  BatchingOracleConfig config;
+  config.seed = 42;
+  config.trials = 4;
+  config.batches = {4, 16};
+  config.jobs = 1;
+  const BatchingOracleReport serial = svc_batching_sweep(config);
+  config.jobs = 8;
+  const BatchingOracleReport parallel = svc_batching_sweep(config);
+  EXPECT_TRUE(serial.ok()) << serial.summary();
+  EXPECT_EQ(serial.fingerprint, parallel.fingerprint);
+  EXPECT_EQ(serial.fingerprint, 0xbd25aafd136824e5ULL)
+      << "batching sweep fingerprint drifted: 0x" << std::hex
+      << serial.fingerprint;
 }
 
-TEST(CompiledAtomicCommit, VotesDriveOutcomePerIteration) {
-  const int n = 3, f = 1;
-  auto protocol = std::make_shared<AtomicCommit>(f);
-  // Iterations alternate: everyone yes on even, process 1 votes no on odd.
-  InputSource inputs = [](ProcessId p, std::int64_t iteration) {
-    return Value(!(iteration % 2 == 1 && p == 1));
+// --- convergence and the bounded corrupted prefix ---------------------------
+
+TEST(SvcConvergence, SurvivorStoresConvergeUnderWaveAndCrash) {
+  SvcConfig config;
+  config.n = 5;
+  config.seed = 21;
+  config.batch = 8;
+  config.clients = 200;
+  config.read_permille = 200;
+  config.horizon = 30000;
+  config.plan = svc::corruption_wave(config.n, 6000, /*seed=*/77);
+  config.plan.crashes.push_back({4, 3000});
+  const SvcReport report = run_service(std::move(config));
+
+  EXPECT_TRUE(report.converged_full) << report.summary();
+  EXPECT_TRUE(report.converged_clean) << report.summary();
+  ASSERT_TRUE(report.clean_from.has_value());
+  EXPECT_GT(report.requests_completed, 0);
+  EXPECT_GT(report.reads_served, 0);
+  // The serving layer keeps deciding commands after the systemic failure.
+  EXPECT_GT(report.commands_decided, report.requests_completed / 2);
+}
+
+TEST(SvcConvergence, CorruptedPrefixBoundedAcrossSampledPlans) {
+  const int plans = 5 * testing::trial_scale();
+  const std::vector<SvcReport> reports = parallel_sweep<SvcReport>(
+      plans, [](std::size_t i) {
+        SvcConfig config;
+        config.n = 5;
+        config.seed = 100 + i;
+        config.batch = 16;
+        config.clients = 250;
+        config.horizon = 24000;
+        config.plan =
+            svc::sample_svc_plan(900 + i, config.n, config.horizon);
+        return run_service(std::move(config));
+      });
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const SvcReport& report = reports[i];
+    EXPECT_TRUE(report.converged_full)
+        << "plan " << i << ": " << report.summary();
+    ASSERT_TRUE(report.clean_from.has_value())
+        << "plan " << i << ": " << report.summary();
+    // The corrupted prefix is bounded: every dirty instance precedes
+    // clean_from (trailing-run construction), and the clean suffix
+    // dominates the decided log.
+    EXPECT_LT(report.dirty_instances,
+              std::max<std::int64_t>(report.instances_decided / 4, 8))
+        << "plan " << i << ": " << report.summary();
+    EXPECT_GT(report.requests_completed, report.requests_submitted / 2)
+        << "plan " << i << ": " << report.summary();
+  }
+}
+
+// --- pipelining and backpressure --------------------------------------------
+
+TEST(SvcPipeline, WindowBoundsLogRunaheadUnderSlowApply) {
+  SvcConfig config;
+  config.n = 3;
+  config.seed = 5;
+  config.batch = 4;
+  config.pipeline_depth = 8;
+  config.clients = 400;
+  config.think_min = 20;
+  config.think_max = 60;
+  config.horizon = 16000;
+  config.apply_delay = 600;  // application lags decisions
+  KvService service(std::move(config));
+  service.run();
+  const SvcReport report = service.report();
+
+  const auto lag = report.metrics.gauges.find("svc_cmd_lag_peak");
+  ASSERT_NE(lag, report.metrics.gauges.end());
+  // Command-carrying instances can lead the applied floor by at most the
+  // window (proposals are cut at floor + depth; the floor only grows).
+  EXPECT_LE(lag->second, 8 + 4) << report.summary();
+  EXPECT_GT(service.plane().proposals_empty_backpressure(), 0)
+      << "a slow applier must push back on the proposal window";
+  EXPECT_TRUE(report.converged_full) << report.summary();
+}
+
+TEST(SvcPipeline, BatchOneDegeneratesToSingleCommandInstances) {
+  SvcConfig config;
+  config.n = 3;
+  config.seed = 11;
+  config.batch = 1;
+  config.clients = 60;
+  config.horizon = 8000;
+  const SvcReport report = run_service(std::move(config));
+
+  const auto fill = report.metrics.histograms.find("svc_batch_fill");
+  ASSERT_NE(fill, report.metrics.histograms.end());
+  EXPECT_LE(fill->second.max, 1)
+      << "batch=1 must decide one command per instance";
+  EXPECT_GT(report.requests_completed, 0);
+}
+
+// --- read leases -------------------------------------------------------------
+
+TEST(SvcLease, ServedReadsRespectTheStalenessBound) {
+  SvcConfig config;
+  config.n = 3;
+  config.seed = 13;
+  config.batch = 8;
+  config.clients = 200;
+  config.read_permille = 500;
+  config.lease_bound = 1500;
+  config.horizon = 16000;
+  const Time bound = config.lease_bound;
+  const SvcReport report = run_service(std::move(config));
+
+  EXPECT_GT(report.reads_served, 0);
+  const auto staleness = report.metrics.histograms.find("svc_read_staleness");
+  ASSERT_NE(staleness, report.metrics.histograms.end());
+  EXPECT_LE(staleness->second.max, bound)
+      << "a served read may never exceed the lease staleness bound";
+}
+
+TEST(SvcLease, StaleReplicasRejectInsteadOfServing) {
+  SvcConfig config;
+  config.n = 3;
+  config.seed = 13;
+  config.batch = 8;
+  config.clients = 200;
+  config.read_permille = 500;
+  config.lease_bound = 300;
+  config.apply_delay = 2000;  // applied state always older than the lease
+  config.horizon = 12000;
+  const SvcReport report = run_service(std::move(config));
+
+  EXPECT_GT(report.reads_rejected_stale, 0);
+  const auto staleness = report.metrics.histograms.find("svc_read_staleness");
+  if (staleness != report.metrics.histograms.end() &&
+      staleness->second.count > 0) {
+    EXPECT_LE(staleness->second.max, 300);
+  }
+}
+
+// --- retransmission and dedup ------------------------------------------------
+
+TEST(SvcRetransmit, OrphanedBatchesDrainToCompletion) {
+  SvcConfig config;
+  config.n = 5;
+  config.seed = 21;
+  config.batch = 8;
+  config.clients = 120;
+  config.max_ops_per_client = 8;
+  config.horizon = 20000;
+  config.drain_cap = 60000;
+  config.plan = svc::corruption_wave(config.n, 2500, /*seed=*/77);
+  KvService service(std::move(config));
+  service.run();
+  const SvcReport report = service.report();
+
+  EXPECT_TRUE(report.drained) << report.summary();
+  EXPECT_EQ(report.requests_outstanding, 0);
+  EXPECT_EQ(report.requests_completed, report.requests_submitted)
+      << "after the drain every submitted command must be decided and "
+         "applied despite the systemic failure";
+  EXPECT_TRUE(report.converged_full) << report.summary();
+  // The wave orphans in-flight instances; their commands are re-proposed.
+  EXPECT_GT(report.commands_retransmitted, 0) << report.summary();
+}
+
+// --- batching transparency ---------------------------------------------------
+
+TEST(SvcBatching, TransparentAcrossBatchSizes) {
+  for (const int batch : {4, 32}) {
+    const BatchingCellResult cell = check_batching(61, batch);
+    EXPECT_TRUE(cell.ok()) << cell.describe();
+  }
+}
+
+TEST(SvcBatching, OracleCatchesDroppedTailCommands) {
+  const BatchingCellResult cell =
+      check_batching(61, 8, sabotage_drop_last);
+  EXPECT_FALSE(cell.ok())
+      << "dropping the tail command of every batch must be caught: "
+      << cell.describe();
+}
+
+// --- decode parity with the original example path ----------------------------
+
+// The original replicated_kv example materialized stores with a hand-rolled
+// rule: skip any decided command whose "key" is not a string.  The service
+// decoding path (KvStore::apply_decision) must keep that garbage-skip
+// behavior bit-for-bit for every command that carries a "val".
+TEST(SvcDecode, GarbageCommandSkipParityWithExampleRule) {
+  const std::vector<Value> decisions = {
+      Value::map({{"key", Value("a")}, {"val", Value(1)}}),
+      Value::map({{"key", Value(7)}, {"val", Value(2)}}),    // non-string key
+      Value(123),                                            // not a map
+      Value::map({{"k", Value("a")}}),                       // no key at all
+      Value::array({Value::map({{"key", Value("b")}, {"val", Value(3)}}),
+                    Value::map({{"key", Value()}, {"val", Value(4)}}),
+                    Value::map({{"key", Value("a")}, {"val", Value(5)}})}),
   };
-  SyncSimulator sim(SyncConfig{.seed = 3},
-                    compile_protocol(n, protocol, inputs));
-  sim.run_rounds(16);  // final_round = 2 -> 8 iterations
-  auto analysis = analyze_repeated(compiled_views(sim), sim.history().faulty(),
-                                   commit_validity(n));
-  ASSERT_GE(analysis.iterations.size(), 8u);
-  for (const auto& it : analysis.iterations) {
-    EXPECT_TRUE(RepeatedAnalysis::clean(it, true)) << it.iteration;
-    EXPECT_EQ(it.decision,
-              Value(it.iteration % 2 == 0 ? "commit" : "abort"))
-        << it.iteration;
-  }
-}
 
-TEST(CompiledAtomicCommit, CrashForcesAbortThenCorruptionHeals) {
-  const int n = 4, f = 1;
-  auto protocol = std::make_shared<AtomicCommit>(f);
-  InputSource inputs = [](ProcessId, std::int64_t) { return Value(true); };
-  SyncSimulator sim(SyncConfig{.seed = 4},
-                    compile_protocol(n, protocol, inputs));
-  Rng rng(4);
-  for (ProcessId p = 0; p < n; ++p) {
-    sim.corrupt_state(p, random_value(rng, 10'000));
-  }
-  sim.set_fault_plan(3, FaultPlan::crash(9));
-  sim.run_rounds(24);
-  auto analysis = analyze_repeated(compiled_views(sim), sim.history().faulty(),
-                                   commit_validity(n));
-  auto clean_from = analysis.clean_from(true);
-  ASSERT_TRUE(clean_from.has_value());
-  // After the crash, the missing vote forces abort forever — still clean
-  // (abort with an excuse) and agreed.
-  EXPECT_EQ(analysis.iterations.back().decision, Value("abort"));
-  // Before the crash but after stabilization, unanimous yes commits.
-  bool saw_commit = false;
-  for (const auto& it : analysis.iterations) {
-    if (it.first_decided_round >= *clean_from && it.last_decided_round < 9) {
-      saw_commit |= it.decision == Value("commit");
+  // The example's old rule, applied command-wise.
+  Value::Map expected;
+  const auto old_rule = [&](const Value& cmd) {
+    if (!cmd.is_map() || !cmd.at("key").is_string() || !cmd.contains("val")) {
+      return;  // garbage: skipped
+    }
+    expected[cmd.at("key").as_string()] = cmd.at("val");
+  };
+  for (const Value& d : decisions) {
+    if (d.is_array()) {
+      for (const Value& cmd : d.as_array()) old_rule(cmd);
+    } else {
+      old_rule(d);
     }
   }
-  EXPECT_TRUE(saw_commit);
+
+  KvStore store;
+  for (const Value& d : decisions) store.apply_decision(d);
+  EXPECT_EQ(store.data(), expected);
+  EXPECT_EQ(store.applied_total(), 3);
+  EXPECT_EQ(store.garbage_total(), 4);
+  EXPECT_EQ(store.get("a"), Value(5));
+  EXPECT_EQ(store.get("b"), Value(3));
+}
+
+TEST(SvcDecode, DedupSkipsReplayedClientCommands) {
+  KvStore store;
+  const Value first = Value::map({{"key", Value("x")},
+                                  {"val", Value(10)},
+                                  {"client", Value(3)},
+                                  {"seq", Value(0)}});
+  const Value second = Value::map({{"key", Value("x")},
+                                   {"val", Value(20)},
+                                   {"client", Value(3)},
+                                   {"seq", Value(1)}});
+  store.apply_decision(first);
+  store.apply_decision(second);
+  store.apply_decision(first);  // at-least-once replay
+  EXPECT_EQ(store.get("x"), Value(20))
+      << "a replayed command must not clobber a later write";
+  EXPECT_EQ(store.deduped_total(), 1);
 }
 
 }  // namespace
